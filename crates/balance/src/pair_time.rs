@@ -1,0 +1,125 @@
+//! The pair-phase time model.
+//!
+//! DeePMD evaluates atoms one by one (§III-C: "the evaluation of two local
+//! atoms takes nearly twice as long as that of one atom"), so a rank's pair
+//! time is set by its *busiest thread*: `t = t_atom · max_thread_atoms`,
+//! plus a fixed per-step base (descriptor bookkeeping, list traversal) and
+//! optional noise standing in for "system jitter, cache contention, and
+//! other uncontrollable factors" the paper mentions.
+
+use minimd::domain::Decomposition;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::assign::{busiest_thread_atoms, lb_busiest_thread_atoms};
+
+/// Pair-time model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PairTimeModel {
+    /// Time to evaluate one atom on one thread, ns (DeePMD inference).
+    pub t_atom_ns: f64,
+    /// Fixed per-step overhead per rank, ns.
+    pub base_ns: f64,
+    /// Relative jitter amplitude (0 = deterministic).
+    pub jitter: f64,
+}
+
+impl PairTimeModel {
+    /// A model with the given per-atom cost and 3% jitter.
+    pub fn new(t_atom_ns: f64) -> Self {
+        PairTimeModel { t_atom_ns, base_ns: 0.3 * t_atom_ns, jitter: 0.03 }
+    }
+
+    /// Per-rank pair times without intra-node load balance.
+    pub fn rank_times_nolb(&self, counts_per_rank: &[u32], seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        counts_per_rank
+            .iter()
+            .map(|&c| {
+                let t = self.base_ns + self.t_atom_ns * busiest_thread_atoms(c) as f64;
+                t * (1.0 + self.jitter_draw(&mut rng))
+            })
+            .collect()
+    }
+
+    /// Per-rank pair times with intra-node load balance: all four ranks of
+    /// a node finish together (they share the pooled work), set by the
+    /// busiest of the node's 48 threads.
+    pub fn rank_times_lb(&self, decomp: &Decomposition, counts_per_rank: &[u32], seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = vec![0.0; decomp.num_ranks()];
+        for node in 0..decomp.num_nodes() {
+            let ranks = decomp.node_ranks(node);
+            let total: u32 = ranks.iter().map(|&r| counts_per_rank[r]).sum();
+            let t = self.base_ns + self.t_atom_ns * lb_busiest_thread_atoms(total) as f64;
+            for &r in &ranks {
+                out[r] = t * (1.0 + self.jitter_draw(&mut rng));
+            }
+        }
+        out
+    }
+
+    fn jitter_draw(&self, rng: &mut StdRng) -> f64 {
+        if self.jitter == 0.0 {
+            0.0
+        } else {
+            rng.random_range(-self.jitter..self.jitter)
+        }
+    }
+
+    /// The simulation-step pair time is the slowest rank (§III-C: "the key
+    /// to performance improvement is to speed up the slowest MPI rank").
+    pub fn step_time(times: &[f64]) -> f64 {
+        times.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimd::lattice::fcc_copper;
+    use minimd::simbox::SimBox;
+
+    fn setup() -> (Decomposition, Vec<u32>) {
+        let (_, atoms) = fcc_copper(12, 12, 12);
+        // 6×6×6 nodes → 864 ranks, 8 atoms/rank on average.
+        let decomp = Decomposition::new(SimBox::cubic(12.0 * 3.615), [6, 6, 6]);
+        let counts = decomp.counts_per_rank(&atoms);
+        (decomp, counts)
+    }
+
+    #[test]
+    fn lb_reduces_max_pair_time_and_sdmr() {
+        let (decomp, counts) = setup();
+        let model = PairTimeModel::new(1000.0);
+        let nolb = model.rank_times_nolb(&counts, 1);
+        let lb = model.rank_times_lb(&decomp, &counts, 1);
+        let max_nolb = PairTimeModel::step_time(&nolb);
+        let max_lb = PairTimeModel::step_time(&lb);
+        assert!(max_lb <= max_nolb, "{max_lb} vs {max_nolb}");
+        let s_nolb = crate::stats::sdmr(&nolb);
+        let s_lb = crate::stats::sdmr(&lb);
+        assert!(s_lb < s_nolb, "SDMR {s_lb} vs {s_nolb}");
+    }
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let (decomp, counts) = setup();
+        let model = PairTimeModel { t_atom_ns: 500.0, base_ns: 100.0, jitter: 0.0 };
+        let a = model.rank_times_lb(&decomp, &counts, 1);
+        let b = model.rank_times_lb(&decomp, &counts, 999);
+        assert_eq!(a, b, "seed must not matter at zero jitter");
+    }
+
+    #[test]
+    fn pair_time_steps_with_thread_occupancy() {
+        // 12 atoms on a rank = 1 atom/thread; 13 atoms = one thread with 2.
+        let model = PairTimeModel { t_atom_ns: 1000.0, base_ns: 0.0, jitter: 0.0 };
+        let t12 = model.rank_times_nolb(&[12], 0)[0];
+        let t13 = model.rank_times_nolb(&[13], 0)[0];
+        let t24 = model.rank_times_nolb(&[24], 0)[0];
+        assert_eq!(t12, 1000.0);
+        assert_eq!(t13, 2000.0);
+        assert_eq!(t24, 2000.0, "atom-by-atom: 2 atoms/thread = 2× time");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates the design-choice ablation sweeps (DESIGN.md §4's "ablation
+//! benches": TNI count, sync latency, NIC cache capacity, leader × driving).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::ablations;
+
+use dpmd_scaling::experiments::portability;
+
+fn bench(c: &mut Criterion) {
+    dpmd_bench::banner("Ablations", &ablations::table().render());
+    dpmd_bench::banner("Portability (§V)", &portability::table(&portability::run()).render());
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("tni_sweep", |b| b.iter(ablations::tni_sweep));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The paper's §III-B1 measured on the host: the same Deep Potential
+//! inference through (a) the TensorFlow-analog graph runtime, (b) the graph
+//! after fusion/dead-kernel optimization, (c) the direct reference path,
+//! and (d) the mixed-precision engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use deepmd::config::DeepPotConfig;
+use deepmd::engine::DpEngine;
+use deepmd::graph_exec::GraphExecutor;
+use deepmd::model::DeepPotModel;
+use minimd::lattice::fcc_copper;
+use minimd::neighbor::{ListKind, NeighborList};
+use minimd::vec3::Vec3;
+use nnet::precision::Precision;
+
+fn bench(c: &mut Criterion) {
+    let model = DeepPotModel::new(DeepPotConfig::tiny(1, 5.0));
+    let (bx, atoms) = fcc_copper(3, 3, 3);
+    let mut nl = NeighborList::new(model.config.rcut, 0.5, ListKind::Full);
+    nl.build(&atoms, &bx);
+    let mut forces = vec![Vec3::ZERO; atoms.len()];
+
+    let mut group = c.benchmark_group("dp_inference_108_atoms");
+    group.sample_size(10);
+    group.bench_function("direct_f64_reference", |b| {
+        b.iter(|| {
+            forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            black_box(model.energy_forces(&atoms, &nl, &bx, &mut forces))
+        })
+    });
+    group.bench_function("graph_runtime_baseline", |b| {
+        // The per-atom session graphs are cached across iterations (as TF
+        // caches by shape); the measured cost is interpretation + per-run
+        // allocation, the real part of what rmtf removes.
+        let mut exec = GraphExecutor::new(&model);
+        b.iter(|| {
+            forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            black_box(exec.energy_forces(&atoms, &nl, &bx, &mut forces))
+        })
+    });
+    group.bench_function("engine_mix_fp32", |b| {
+        let engine = DpEngine::new(model.clone(), Precision::Mix32);
+        b.iter(|| {
+            forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            black_box(engine.energy_forces(&atoms, &nl, &bx, &mut forces))
+        })
+    });
+    group.bench_function("engine_mix_fp16", |b| {
+        let engine = DpEngine::new(model.clone(), Precision::Mix16);
+        b.iter(|| {
+            forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            black_box(engine.energy_forces(&atoms, &nl, &bx, &mut forces))
+        })
+    });
+    group.bench_function("compressed_tables", |b| {
+        let mut compressed = model.clone();
+        compressed.enable_compression(256);
+        b.iter(|| {
+            forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            black_box(compressed.energy_forces(&atoms, &nl, &bx, &mut forces))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 10: per-rank pair-time distributions, lb vs nolb.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::fig10;
+
+fn bench(c: &mut Criterion) {
+    let series = fig10::run(2024);
+    dpmd_bench::banner("Fig. 10", &fig10::table(&series).render());
+    for s in &series {
+        println!(
+            "{}{}: SDMR {:.2}%",
+            if s.lb { "lb-" } else { "nolb-" },
+            s.atoms_per_core,
+            s.sdmr
+        );
+    }
+
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("distribution_sweep", |b| b.iter(|| fig10::run(7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 11: strong scaling of both benchmark systems from 768
+//! to 12,000 nodes — the 149 / 68.5 ns/day headline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::fig11;
+use dpmd_scaling::systems::SystemSpec;
+
+fn bench(c: &mut Criterion) {
+    for spec in [SystemSpec::copper(), SystemSpec::water()] {
+        let curve = fig11::run(spec, 5);
+        dpmd_bench::banner(
+            &format!("Fig. 11 ({:?})", spec.benchmark),
+            &fig11::table(&curve).render(),
+        );
+        let p = curve.points.last().unwrap();
+        println!(
+            "endpoint: {:.1} ns/day on {} nodes; vs published baseline (4.7 ns/day Cu): {:.1}x\n",
+            p.nsday_opt,
+            p.nodes,
+            p.nsday_opt / 4.7
+        );
+    }
+
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("copper_768_node_point", |b| {
+        b.iter(|| fig11::run(SystemSpec::copper(), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

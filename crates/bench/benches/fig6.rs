@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6: the water O–O RDF under the three precision paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::fig6;
+
+fn bench(c: &mut Criterion) {
+    let curves = fig6::run(fig6::Fig6Config::default());
+    dpmd_bench::banner("Fig. 6", &fig6::table(&curves).render());
+    println!(
+        "max |Δg| vs Double: MIX-fp32 {:.3}, MIX-fp16 {:.3} (paper: curves overlap)\n",
+        fig6::max_deviation(&curves[0], &curves[1]),
+        fig6::max_deviation(&curves[0], &curves[2])
+    );
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("rdf_short_run", |b| {
+        let cfg = fig6::Fig6Config { cells: 3, steps: 40, sample_every: 10, train_frames: 1, epochs: 5, seed: 2 };
+        let model = fig6::trained_water_model(&cfg);
+        b.iter(|| fig6::rdf_at(&model, nnet::precision::Precision::Mix32, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 7: the eight communication bars over both cutoffs and
+//! all three sub-box configurations, then times one strong-scaling
+//! node-based exchange simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::fig7;
+use fugaku::machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::default();
+    let rows = fig7::run(&machine);
+    dpmd_bench::banner("Fig. 7", &fig7::table(&rows).render());
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("node_scheme_strong_scaling_96_nodes", |b| {
+        b.iter(|| fig7::run_config(&machine, 8.0, [0.5, 0.5, 0.5]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 8: the RDMA memory-pool sweep (10k iterations, 8-byte
+//! payloads, up to 124 neighbours), then times one sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::fig8;
+use fugaku::machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::default();
+    let points = fig8::run(&machine, 10_000);
+    dpmd_bench::banner("Fig. 8", &fig8::table(&points).render());
+    if let Some(knee) = fig8::knee(&points) {
+        println!("knee at {knee} neighbors (paper: departs at 44)\n");
+    }
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("mempool_sweep_1k_iters", |b| b.iter(|| fig8::run(&machine, 1_000)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

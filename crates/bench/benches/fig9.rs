@@ -1,0 +1,21 @@
+//! Regenerates Fig. 9: the seven-bar optimization ladder for both systems
+//! at {1, 2, 8} atoms/core on 96 nodes, then times one ladder evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::fig9;
+use dpmd_scaling::systems::SystemSpec;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig9::run();
+    dpmd_bench::banner("Fig. 9", &fig9::table(&rows).render());
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("copper_ladder_1_atom_per_core", |b| {
+        b.iter(|| fig9::run_config(SystemSpec::copper(), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the computational kernels (§III-B2's claims measured
+//! for real on the host):
+//!
+//! * sve-gemm vs blocked (BLAS stand-in) vs naive at the strong-scaling
+//!   shapes (M ∈ {1, 2, 3}, 240-wide fitting layers);
+//! * GEMM-NN vs GEMM-NT (the paper: NT ≈ half the NN rate at small sizes);
+//! * f64 vs f32 vs fp16-storage GEMM rates;
+//! * neighbour-list builds and descriptor assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use deepmd::descriptor::build_environments;
+use minimd::lattice::fcc_copper;
+use minimd::neighbor::{ListKind, NeighborList};
+use nnet::f16::F16;
+use nnet::gemm::{blocked, naive, simd};
+
+fn gemm_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_m2_240x240");
+    let (m, n, k) = (2usize, 240usize, 240usize);
+    let a64: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.37).sin()).collect();
+    let b64: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.11).cos()).collect();
+    let a32: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+    let b32: Vec<f32> = b64.iter().map(|&x| x as f32).collect();
+    let a16: Vec<F16> = a32.iter().map(|&x| F16::from_f32(x)).collect();
+    let b16: Vec<F16> = b32.iter().map(|&x| F16::from_f32(x)).collect();
+    let mut c64 = vec![0.0f64; m * n];
+    let mut c32 = vec![0.0f32; m * n];
+
+    group.bench_function("naive_f64", |bch| {
+        bch.iter(|| naive::gemm_nn_f64(m, n, k, black_box(&a64), black_box(&b64), &mut c64))
+    });
+    group.bench_function("blocked_f64", |bch| {
+        bch.iter(|| blocked::gemm_nn_f64(m, n, k, black_box(&a64), black_box(&b64), &mut c64))
+    });
+    group.bench_function("sve_f64", |bch| {
+        bch.iter(|| simd::gemm_nn_f64(m, n, k, black_box(&a64), black_box(&b64), &mut c64))
+    });
+    group.bench_function("sve_f32", |bch| {
+        bch.iter(|| simd::gemm_nn_f32(m, n, k, black_box(&a32), black_box(&b32), &mut c32))
+    });
+    group.bench_function("sve_f16_storage", |bch| {
+        bch.iter(|| simd::gemm_nn_f16(m, n, k, black_box(&a16), black_box(&b16), &mut c32))
+    });
+    group.finish();
+}
+
+fn gemm_nt_vs_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nt_vs_nn");
+    // The backward-pass shape: 1×240 gradient times a 240×240 parameter
+    // matrix, with and without the pre-transposed copy.
+    let (m, n, k) = (1usize, 240usize, 240usize);
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.3).sin()).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.7).cos()).collect();
+    let bt: Vec<f32> = {
+        let mut t = vec![0.0; n * k];
+        for r in 0..k {
+            for cc in 0..n {
+                t[cc * k + r] = b[r * n + cc];
+            }
+        }
+        t
+    };
+    let mut out = vec![0.0f32; m * n];
+    group.bench_function("nn_pretransposed", |bch| {
+        bch.iter(|| simd::gemm_nn_f32(m, n, k, black_box(&a), black_box(&b), &mut out))
+    });
+    group.bench_function("nt_direct", |bch| {
+        bch.iter(|| simd::gemm_nt_f32(m, n, k, black_box(&a), black_box(&bt), &mut out))
+    });
+    group.finish();
+}
+
+fn neighbor_and_descriptor(c: &mut Criterion) {
+    let (bx, atoms) = fcc_copper(6, 6, 6);
+    let mut group = c.benchmark_group("md_substrate");
+    group.sample_size(20);
+    group.bench_function("neighbor_list_build_864_atoms", |bch| {
+        let mut nl = NeighborList::new(8.0, 2.0, ListKind::Full);
+        bch.iter(|| nl.build(black_box(&atoms), &bx))
+    });
+    let mut nl = NeighborList::new(8.0, 2.0, ListKind::Full);
+    nl.build(&atoms, &bx);
+    group.bench_function("descriptor_environments_864_atoms", |bch| {
+        bch.iter(|| black_box(build_environments(&atoms, &nl, &bx, 0.5, 8.0)))
+    });
+    group.finish();
+}
+
+fn f16_conversion(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+    c.bench_function("f16_roundtrip_4096", |bch| {
+        bch.iter(|| {
+            let h: Vec<F16> = xs.iter().map(|&x| F16::from_f32(black_box(x))).collect();
+            let back: f32 = h.iter().map(|v| v.to_f32()).sum();
+            black_box(back)
+        })
+    });
+}
+
+criterion_group!(benches, gemm_shapes, gemm_nt_vs_nn, neighbor_and_descriptor, f16_conversion);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Table I: the NNMD package survey with the two "This work"
+//! rows measured on the simulated machine (full five-topology sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    // Full sweep to the 12,000-node endpoint (the paper's headline rows).
+    dpmd_bench::banner("Table I", &table1::table(5).render());
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("this_work_rows_768_nodes", |b| b.iter(|| table1::this_work_rows(1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Table II: energy/force error under Double, MIX-fp32 and
+//! MIX-fp16 for a Deep Potential trained on reference labels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let rows = table2::run(table2::Table2Config::default());
+    dpmd_bench::banner("Table II", &table2::table(&rows).render());
+    println!("(paper: Double 1.6e-3 / 4.4e-2; MIX-fp32 identical; MIX-fp16 4.0e-3 / 4.4e-2)\n");
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("precision_eval_small", |b| {
+        b.iter(|| {
+            table2::run(table2::Table2Config { frames: 2, cells: 2, epochs: 10, amp: 0.08, seed: 1 })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

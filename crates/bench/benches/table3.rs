@@ -1,0 +1,22 @@
+//! Regenerates Table III: pair time and atom-count statistics across ranks
+//! with/without intra-node load balance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmd_scaling::experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    let rows = table3::run(2024);
+    dpmd_bench::banner("Table III", &table3::table(&rows).render());
+    println!(
+        "atomic dispersion reduction: {:.1}% (paper: 79.7%)\n",
+        table3::dispersion_reduction(&rows) * 100.0
+    );
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("stats_sweep", |b| b.iter(|| table3::run(1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

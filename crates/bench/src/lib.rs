@@ -1,0 +1,13 @@
+//! # dpmd-bench — the benchmark harness
+//!
+//! One Criterion bench per table and figure of the paper (`cargo bench`),
+//! each of which *prints the regenerated rows/series* before timing the
+//! computation that produces them, plus micro-benchmarks of the kernels
+//! whose measured ratios ground the performance model (sve-gemm vs naive
+//! vs blocked, NN vs NT, f64/f32/f16).
+
+/// Print a banner + rendered table once per bench binary.
+pub fn banner(name: &str, rendered: &str) {
+    println!("\n################ {name} ################");
+    println!("{rendered}");
+}

@@ -1,0 +1,139 @@
+//! `dpmd` — regenerate any table or figure of the paper from the terminal.
+//!
+//! ```sh
+//! dpmd list                 # what can be regenerated
+//! dpmd fig7                 # one experiment
+//! dpmd fig11 --points 3     # strong scaling, first 3 topologies
+//! dpmd all                  # everything (slow: full 12,000-node sweeps)
+//! ```
+
+use std::process::ExitCode;
+
+use dpmd_scaling::experiments::{ablations, fig10, fig11, fig6, fig7, fig8, fig9, portability, table1, table2, table3, weak_scaling};
+use dpmd_scaling::systems::SystemSpec;
+use fugaku::machine::MachineConfig;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "NNMD package survey incl. the two 'This work' rows"),
+    ("table2", "energy/force error under Double / MIX-fp32 / MIX-fp16"),
+    ("table3", "pair time and atom counts across ranks, lb vs nolb"),
+    ("fig6", "water O-O RDF under three precisions"),
+    ("fig7", "step-by-step communication on 96 nodes"),
+    ("fig8", "RDMA memory pool vs per-neighbor registration"),
+    ("fig9", "step-by-step computation ladder on 96 nodes"),
+    ("fig10", "pair-time distributions, lb vs nolb"),
+    ("fig11", "strong scaling 768 -> 12,000 nodes"),
+    ("ablations", "design-choice sensitivity sweeps"),
+    ("portability", "node scheme on Frontier-like / Sunway-like machines (paper §V)"),
+    ("weak", "weak scaling at fixed atoms/core (complement to fig11)"),
+];
+
+fn usage() {
+    println!("usage: dpmd <experiment|list|all> [--points N] [--iters N]\n");
+    println!("experiments:");
+    for (name, desc) in EXPERIMENTS {
+        println!("  {name:10} {desc}");
+    }
+}
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_one(name: &str, points: usize, iters: usize) -> bool {
+    let machine = MachineConfig::default();
+    match name {
+        "table1" => println!("{}", table1::table(points).render()),
+        "table2" => {
+            let rows = table2::run(table2::Table2Config::default());
+            println!("{}", table2::table(&rows).render());
+        }
+        "table3" => {
+            let rows = table3::run(2024);
+            println!("{}", table3::table(&rows).render());
+            println!(
+                "atomic dispersion reduction: {:.1}% (paper: 79.7%)",
+                table3::dispersion_reduction(&rows) * 100.0
+            );
+        }
+        "fig6" => {
+            let curves = fig6::run(fig6::Fig6Config::default());
+            println!("{}", fig6::table(&curves).render());
+            println!(
+                "max |dg| vs Double: MIX-fp32 {:.3}, MIX-fp16 {:.3}",
+                fig6::max_deviation(&curves[0], &curves[1]),
+                fig6::max_deviation(&curves[0], &curves[2])
+            );
+        }
+        "fig7" => {
+            let rows = fig7::run(&machine);
+            println!("{}", fig7::table(&rows).render());
+        }
+        "fig8" => {
+            let pts = fig8::run(&machine, iters);
+            println!("{}", fig8::table(&pts).render());
+            if let Some(k) = fig8::knee(&pts) {
+                println!("knee at {k} neighbors (paper: 44)");
+            }
+        }
+        "fig9" => {
+            let rows = fig9::run();
+            println!("{}", fig9::table(&rows).render());
+        }
+        "fig10" => {
+            let series = fig10::run(2024);
+            println!("{}", fig10::table(&series).render());
+        }
+        "fig11" => {
+            for spec in [SystemSpec::copper(), SystemSpec::water()] {
+                let curve = fig11::run(spec, points);
+                println!("{}", fig11::table(&curve).render());
+            }
+        }
+        "ablations" => println!("{}", ablations::table().render()),
+        "portability" => println!("{}", portability::table(&portability::run()).render()),
+        "weak" => {
+            let grids = [[2usize, 3, 2], [4, 3, 4], [4, 6, 4], [8, 6, 8], [8, 12, 8]];
+            let pts = weak_scaling::run(SystemSpec::copper(), 2, &grids);
+            println!("{}", weak_scaling::table(&pts).render());
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let points = parse_flag(&args, "--points", 5);
+    let iters = parse_flag(&args, "--iters", 10_000);
+    match cmd.as_str() {
+        "list" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for (name, _) in EXPERIMENTS {
+                println!("\n########## {name} ##########");
+                run_one(name, points, iters);
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            if run_one(other, points, iters) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("unknown experiment '{other}'\n");
+                usage();
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # dpmd-comm — ghost-region communication over the simulated Fugaku
+//!
+//! Implements the three communication organizations compared in the paper's
+//! Fig. 7, plus the supporting machinery:
+//!
+//! * [`plan`] — halo *plans* computed from real atom positions and the
+//!   domain decomposition: which atoms each rank/node must ship where, in
+//!   how many messages, of what size;
+//! * [`three_stage`] — LAMMPS' staged exchange (x then y then z, `N_d`
+//!   rounds per direction), over MPI or uTofu;
+//! * [`p2p`] — direct rank-to-rank exchange with every stencil neighbour;
+//! * [`node_based`] — the paper's contribution: per-node aggregation
+//!   through shared memory, leader ranks (1, 2 or 4), RDMA to neighbouring
+//!   nodes' leaders with one thread per TNI, receive-side scatter, and the
+//!   reverse (force-reduction) path;
+//! * [`mempool`] — the RDMA memory-pool experiment (Fig. 8): per-neighbour
+//!   buffer registration vs one pooled region, against the NIC cache model;
+//! * [`driver`] — a functional distributed MD driver (exchange → compute →
+//!   reverse → integrate → migrate) pinned against the single-box
+//!   trajectory;
+//! * [`functional`] — an in-process *functional* ghost exchange that
+//!   actually moves atoms between per-rank stores, used to prove all
+//!   schemes deliver identical ghost sets (the correctness side of the
+//!   performance story).
+
+pub mod driver;
+pub mod functional;
+pub mod mempool;
+pub mod node_based;
+pub mod p2p;
+pub mod plan;
+pub mod three_stage;
+
+pub use node_based::{NodeSchemeConfig, NodeSchemeResult};
+pub use plan::{HaloPlan, ATOM_FORWARD_BYTES, ATOM_REVERSE_BYTES};

@@ -1,0 +1,127 @@
+//! The RDMA memory-pool experiment (paper §III-D1, Fig. 8).
+//!
+//! Two registration strategies over the NIC cache model:
+//!
+//! * **per-neighbour** — every neighbour gets a dedicated send + receive
+//!   buffer registration; the NIC's translation cache holds
+//!   `2 × neighbours` entries plus per-destination connection state and
+//!   starts thrashing once that working set exceeds its capacity;
+//! * **memory pool** — one large registered block serves every neighbour
+//!   through offsets, so the translation working set is a single entry and
+//!   time stays linear in the message count.
+
+use fugaku::machine::MachineConfig;
+use fugaku::niccache::NicCache;
+use fugaku::utofu::{ApiCosts, CommApi};
+
+/// Buffer registration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Registration {
+    /// One send + one receive buffer per neighbour.
+    PerNeighbor,
+    /// A single pooled region addressed by offsets.
+    MemoryPool,
+}
+
+/// Simulate `iterations` rounds of sending one `payload`-byte message to
+/// each of `neighbors` peers, returning total time in ns.
+///
+/// This is exactly Fig. 8's workload: 10 k iterations, 8-byte payloads,
+/// neighbour counts swept up to 124, messages issued round-robin over the
+/// six TNIs.
+pub fn simulate(
+    machine: &MachineConfig,
+    neighbors: usize,
+    payload: usize,
+    iterations: usize,
+    reg: Registration,
+) -> u64 {
+    let costs = ApiCosts::of(CommApi::Utofu);
+    let mut cache = NicCache::new(machine.nic_cache_entries, machine.nic_cache_miss_ns);
+    // Per-message fixed work (post + engine + wire for a tiny payload). The
+    // sweep serializes per TNI; with round-robin over 6 TNIs the steady-
+    // state throughput is one message per (engine occupancy / 6), but the
+    // *per-iteration* critical path is dominated by software posting —
+    // model it as software + engine/6 + cache penalties.
+    let sw = costs.send_overhead_ns + costs.recv_overhead_ns;
+    let engine = machine.tni.engine_overhead_ns + (payload as f64 / machine.tofu.link_bw) as u64;
+    let per_msg_base = sw + engine / machine.tofu.tnis_per_node as u64;
+
+    let mut total = 0u64;
+    for _ in 0..iterations {
+        for n in 0..neighbors {
+            // Entry ids: the registered memory regions this message
+            // touches. (Connection state is small enough to stay resident;
+            // the address-translation entries are what overflow — their
+            // working set is 2 per neighbour without the pool, putting the
+            // knee at capacity/2 = 44 neighbours, where Fig. 8 departs.)
+            let extra = match reg {
+                Registration::PerNeighbor => {
+                    cache.access(2 * n as u64) + cache.access(2 * n as u64 + 1)
+                }
+                Registration::MemoryPool => cache.access(u64::MAX),
+            };
+            total += per_msg_base + extra;
+        }
+    }
+    total
+}
+
+/// The full Fig. 8 sweep: for each neighbour count, total time for both
+/// strategies. Returns `(neighbors, pool_ns, per_neighbor_ns)` rows.
+pub fn figure8_sweep(machine: &MachineConfig, iterations: usize) -> Vec<(usize, u64, u64)> {
+    let counts = [2usize, 8, 16, 26, 32, 44, 56, 74, 92, 108, 124];
+    counts
+        .iter()
+        .map(|&n| {
+            let pool = simulate(machine, n, 8, iterations, Registration::MemoryPool);
+            let per = simulate(machine, n, 8, iterations, Registration::PerNeighbor);
+            (n, pool, per)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_time_is_linear_in_neighbors() {
+        let m = MachineConfig::default();
+        let t26 = simulate(&m, 26, 8, 100, Registration::MemoryPool);
+        let t52 = simulate(&m, 52, 8, 100, Registration::MemoryPool);
+        let t104 = simulate(&m, 104, 8, 100, Registration::MemoryPool);
+        let r1 = t52 as f64 / t26 as f64;
+        let r2 = t104 as f64 / t52 as f64;
+        assert!((r1 - 2.0).abs() < 0.05, "ratio {r1}");
+        assert!((r2 - 2.0).abs() < 0.05, "ratio {r2}");
+    }
+
+    #[test]
+    fn per_neighbor_registration_degrades_past_the_knee() {
+        // The paper's Fig. 8: the non-pool curve departs around 44
+        // neighbours (2 MRs + 1 connection each vs the cache capacity).
+        let m = MachineConfig::default();
+        let per_msg = |n: usize, reg| simulate(&m, n, 8, 200, reg) as f64 / (200 * n) as f64;
+        let below = per_msg(26, Registration::PerNeighbor);
+        let above = per_msg(74, Registration::PerNeighbor);
+        let pool_above = per_msg(74, Registration::MemoryPool);
+        assert!(above > 1.3 * below, "no knee: {below} -> {above}");
+        assert!(above > 1.3 * pool_above, "pool must stay fast");
+        // Below the knee the two strategies are equivalent.
+        let pool_below = per_msg(26, Registration::MemoryPool);
+        assert!((below / pool_below - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sweep_has_monotone_pool_column() {
+        let m = MachineConfig::default();
+        let rows = figure8_sweep(&m, 50);
+        for w in rows.windows(2) {
+            assert!(w[1].1 > w[0].1, "pool time must grow with neighbours");
+        }
+        // At 124 neighbours, per-neighbour registration is much slower.
+        let last = rows.last().unwrap();
+        assert!(last.2 > last.1 * 2, "{} vs {}", last.2, last.1);
+    }
+}

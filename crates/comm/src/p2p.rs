@@ -1,0 +1,140 @@
+//! Direct point-to-point exchange: every rank messages every stencil
+//! neighbour (the `p2p` pattern of refs [40], [47] and Fig. 7).
+//!
+//! Lower latency than the 3-stage pattern (one round trip, no forwarding),
+//! but the message count explodes at the strong-scaling limit: 26 → 74 →
+//! 124 neighbours per rank as the sub-box shrinks below the cutoff.
+
+use fugaku::event::JobGraph;
+use fugaku::machine::MachineConfig;
+use fugaku::tofu::Torus3d;
+use fugaku::utofu::{ApiCosts, CommApi};
+use minimd::domain::Decomposition;
+
+use crate::plan::HaloPlan;
+use crate::three_stage::CommResult;
+
+/// Simulate the p2p pattern for a concrete halo plan.
+pub fn simulate(
+    machine: &MachineConfig,
+    decomp: &Decomposition,
+    torus: &Torus3d,
+    plan: &HaloPlan,
+    api: CommApi,
+) -> CommResult {
+    let costs = ApiCosts::of(api);
+    let mut g = JobGraph::new();
+
+    // Resources: per-rank CPU, per-node TNIs.
+    let mut node_tnis = Vec::with_capacity(decomp.num_nodes());
+    for _ in 0..decomp.num_nodes() {
+        node_tnis.push(g.resources(machine.tofu.tnis_per_node));
+    }
+    let mut rank_cpu = Vec::with_capacity(decomp.num_ranks());
+    for _ in 0..decomp.num_ranks() {
+        rank_cpu.push(g.resource());
+    }
+
+    let mut result = CommResult::default();
+    // Sends: each rank posts its messages back-to-back on its CPU, TNIs
+    // round-robin per node.
+    let mut recv_deps: Vec<Vec<fugaku::event::JobId>> = vec![Vec::new(); decomp.num_ranks()];
+    for r in 0..decomp.num_ranks() {
+        let node = decomp.rank_to_node(r);
+        for (msg_idx, (dst, bytes)) in plan.rank_sends(r).into_iter().enumerate() {
+            let dst_node = decomp.rank_to_node(dst);
+            let post = g.job(
+                &[],
+                Some(rank_cpu[r]),
+                costs.send_overhead_ns + (costs.pack_ns_per_byte * bytes as f64) as u64,
+                0,
+            );
+            if dst_node == node {
+                let copy_ns = machine.chip.cross_numa_copy_ns(bytes, 2) as u64;
+                let copy = g.job(&[post], Some(rank_cpu[r]), copy_ns, 0);
+                recv_deps[dst].push(copy);
+                result.intranode_messages += 1;
+            } else {
+                let hops = torus.hops(node, dst_node);
+                let tni = node_tnis[node][msg_idx % machine.tofu.tnis_per_node];
+                let inj = g.job(
+                    &[post],
+                    Some(tni),
+                    machine.tni.engine_overhead_ns + (bytes as f64 / machine.tofu.link_bw) as u64,
+                    machine.tofu.base_latency_ns as u64 + hops as u64 * machine.tofu.hop_latency_ns as u64,
+                );
+                recv_deps[dst].push(inj);
+                result.internode_messages += 1;
+                result.internode_bytes += bytes as u64;
+            }
+        }
+    }
+    // Receives: one processing job per incoming message on the dst CPU.
+    for r in 0..decomp.num_ranks() {
+        for &dep in &recv_deps[r] {
+            g.job(&[dep], Some(rank_cpu[r]), costs.recv_overhead_ns, 0);
+        }
+    }
+    result.total_ns = g.run().makespan;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimd::atoms::Atoms;
+    use minimd::lattice::fcc_lattice;
+    use minimd::simbox::SimBox;
+
+    fn setup(frac: f64, rc: f64, nodes: [usize; 3]) -> (MachineConfig, Decomposition, Torus3d, Atoms) {
+        let edge = frac * rc;
+        let bx = SimBox::new(
+            edge * 2.0 * nodes[0] as f64,
+            edge * 2.0 * nodes[1] as f64,
+            edge * nodes[2] as f64,
+        );
+        let cells = [
+            (bx.lengths().x / 3.615).round().max(1.0) as usize,
+            (bx.lengths().y / 3.615).round().max(1.0) as usize,
+            (bx.lengths().z / 3.615).round().max(1.0) as usize,
+        ];
+        let (_, mut atoms) = fcc_lattice(cells[0], cells[1], cells[2], 3.615);
+        let sx = bx.lengths().x / (cells[0] as f64 * 3.615);
+        let sy = bx.lengths().y / (cells[1] as f64 * 3.615);
+        let sz = bx.lengths().z / (cells[2] as f64 * 3.615);
+        for p in &mut atoms.pos {
+            p.x *= sx;
+            p.y *= sy;
+            p.z *= sz;
+            *p = bx.wrap(*p);
+        }
+        (MachineConfig::default(), Decomposition::new(bx, nodes), Torus3d::new(nodes), atoms)
+    }
+
+    #[test]
+    fn message_count_matches_plan() {
+        let (m, d, t, atoms) = setup(1.0, 8.0, [3, 3, 4]);
+        let plan = HaloPlan::build(&d, &atoms, 8.0);
+        let r = simulate(&m, &d, &t, &plan, CommApi::Utofu);
+        assert_eq!(
+            (r.internode_messages + r.intranode_messages) as usize,
+            plan.rank_message_count()
+        );
+        assert!(r.total_ns > 0);
+    }
+
+    #[test]
+    fn shrinking_subboxes_explodes_p2p_time() {
+        let rc = 8.0;
+        let (m, d1, t1, a1) = setup(1.0, rc, [3, 3, 4]);
+        let p1 = HaloPlan::build(&d1, &a1, rc);
+        let r1 = simulate(&m, &d1, &t1, &p1, CommApi::Utofu);
+        let (_, d2, t2, a2) = setup(0.5, rc, [3, 3, 4]);
+        let p2 = HaloPlan::build(&d2, &a2, rc);
+        let r2 = simulate(&m, &d2, &t2, &p2, CommApi::Utofu);
+        // Far more messages per rank (26 → up to 124) ⇒ slower despite the
+        // smaller payloads.
+        assert!(p2.rank_message_count() > 2 * p1.rank_message_count());
+        assert!(r2.total_ns > r1.total_ns, "{} vs {}", r2.total_ns, r1.total_ns);
+    }
+}

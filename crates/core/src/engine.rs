@@ -1,0 +1,286 @@
+//! The functional engine: train or load a Deep Potential model and run MD
+//! with it at any precision, through a builder API.
+
+use deepmd::config::DeepPotConfig;
+use deepmd::dataset;
+use deepmd::engine::DpEngine;
+use deepmd::model::DeepPotModel;
+use deepmd::train::{fit_energy_bias, train, TrainConfig};
+use minimd::integrate::{init_velocities, Thermostat, VelocityVerlet};
+use minimd::sim::{Simulation, Thermo};
+use minimd::units::FEMTOSECOND;
+use nnet::precision::Precision;
+
+/// Which physical system the engine sets up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// FCC copper, `cells³` conventional cells.
+    Copper {
+        /// Cells per edge.
+        cells: usize,
+    },
+    /// Water, `cells³` molecules on a liquid-density lattice.
+    Water {
+        /// Molecules per edge.
+        cells: usize,
+    },
+}
+
+/// Builder for [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    system: SystemKind,
+    precision: Precision,
+    temperature: f64,
+    timestep_fs: f64,
+    seed: u64,
+    train_frames: usize,
+    train_epochs: usize,
+    thermostat: bool,
+    compression: Option<usize>,
+    model: Option<DeepPotModel>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            system: SystemKind::Copper { cells: 3 },
+            precision: Precision::Double,
+            temperature: 300.0,
+            timestep_fs: 1.0,
+            seed: 42,
+            train_frames: 3,
+            train_epochs: 40,
+            thermostat: true,
+            compression: None,
+            model: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Copper system with `cells³` FCC cells.
+    pub fn copper_cells(mut self, cells: usize) -> Self {
+        self.system = SystemKind::Copper { cells };
+        self.timestep_fs = 1.0;
+        self
+    }
+
+    /// Water system with `cells³` molecules.
+    pub fn water_cells(mut self, cells: usize) -> Self {
+        self.system = SystemKind::Water { cells };
+        self.timestep_fs = 0.5;
+        self
+    }
+
+    /// Inference precision (Double / MIX-fp32 / MIX-fp16).
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Initial (and thermostat target) temperature, K.
+    pub fn temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Time-step, fs.
+    pub fn timestep_fs(mut self, dt: f64) -> Self {
+        self.timestep_fs = dt;
+        self
+    }
+
+    /// RNG seed for the whole pipeline.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Training effort for the bundled model (frames, epochs). Zero epochs
+    /// skips training (bias-only model).
+    pub fn training(mut self, frames: usize, epochs: usize) -> Self {
+        self.train_frames = frames;
+        self.train_epochs = epochs;
+        self
+    }
+
+    /// Run NVE instead of the default Berendsen-thermostatted NVT.
+    pub fn nve(mut self) -> Self {
+        self.thermostat = false;
+        self
+    }
+
+    /// Use a pre-trained model instead of training one here.
+    pub fn with_model(mut self, model: DeepPotModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Enable DP-Compress: tabulate the embedding nets with `intervals`
+    /// pieces (the deployment configuration of the baseline work [33]).
+    pub fn compressed(mut self, intervals: usize) -> Self {
+        self.compression = Some(intervals);
+        self
+    }
+
+    /// Train (if needed) and assemble the engine.
+    pub fn build(self) -> Engine {
+        let model: DeepPotModel = match self.model.clone() {
+            Some(m) => m,
+            None => {
+                let (cfg, frames) = match self.system {
+                    SystemKind::Copper { .. } => (
+                        DeepPotConfig::tiny(1, 6.0),
+                        dataset::copper_frames(self.train_frames.max(1), 2, 0.08, self.seed),
+                    ),
+                    SystemKind::Water { .. } => (
+                        DeepPotConfig::tiny(2, 6.0),
+                        dataset::water_frames(self.train_frames.max(1), 3, 0, self.seed),
+                    ),
+                };
+                let mut model = DeepPotModel::new(cfg);
+                fit_energy_bias(&mut model, &frames);
+                if self.train_epochs > 0 {
+                    train(
+                        &mut model,
+                        &frames,
+                        TrainConfig { epochs: self.train_epochs, lr: 3e-3, log_every: 0 },
+                    );
+                }
+                model
+            }
+        };
+        let mut model = model;
+        if let Some(intervals) = self.compression {
+            model.enable_compression(intervals);
+        }
+        Engine::assemble(self, model)
+    }
+}
+
+/// A ready-to-run MD engine over a Deep Potential model.
+pub struct Engine {
+    sim: Simulation,
+    timestep_fs: f64,
+    precision: Precision,
+}
+
+impl Engine {
+    /// Start building.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    fn assemble(b: EngineBuilder, model: DeepPotModel) -> Engine {
+        let (bx, mut atoms) = match b.system {
+            SystemKind::Copper { cells } => minimd::lattice::fcc_copper(cells, cells, cells),
+            SystemKind::Water { cells } => minimd::lattice::water_box(cells, cells, cells, b.seed),
+        };
+        init_velocities(&mut atoms, b.temperature, b.seed);
+        let dp = DpEngine::new(model, b.precision);
+        let mut vv = VelocityVerlet::new(b.timestep_fs * FEMTOSECOND);
+        if b.thermostat {
+            vv.thermostat = Thermostat::Berendsen { t_target: b.temperature, tau_ps: 0.05 };
+        }
+        // Paper settings: skin 2 Å, rebuild every 50 steps.
+        let sim = Simulation::new(bx, atoms, Box::new(dp), vv, 2.0, 50);
+        Engine { sim, timestep_fs: b.timestep_fs, precision: b.precision }
+    }
+
+    /// Advance `n` steps, returning the thermodynamic trace.
+    pub fn simulate(mut self, n: u64) -> Vec<Thermo> {
+        self.sim.run(n)
+    }
+
+    /// Advance `n` steps in place (keeps the engine usable).
+    pub fn run(&mut self, n: u64) -> Vec<Thermo> {
+        self.sim.run(n)
+    }
+
+    /// The underlying simulation (atoms, box, neighbour list).
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Simulation, mutable (custom observables).
+    pub fn simulation_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// The engine's precision mode.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Time-step in femtoseconds.
+    pub fn timestep_fs(&self) -> f64 {
+        self.timestep_fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_engine_builds_and_steps() {
+        let mut engine = Engine::builder().copper_cells(2).training(2, 10).seed(1).build();
+        let trace = engine.run(5);
+        assert_eq!(trace.len(), 5);
+        assert!(trace.iter().all(|t| t.etotal.is_finite()));
+        assert_eq!(engine.precision(), Precision::Double);
+    }
+
+    #[test]
+    fn water_engine_with_fp16_precision() {
+        let mut engine = Engine::builder()
+            .water_cells(2)
+            .precision(Precision::Mix16)
+            .training(1, 5)
+            .seed(2)
+            .build();
+        let trace = engine.run(3);
+        assert!(trace.last().unwrap().temperature.is_finite());
+        assert_eq!(engine.precision(), Precision::Mix16);
+        assert_eq!(engine.timestep_fs(), 0.5);
+    }
+
+    #[test]
+    fn prebuilt_model_is_reused() {
+        let model = DeepPotModel::new(DeepPotConfig::tiny(1, 6.0));
+        let engine = Engine::builder().copper_cells(2).with_model(model.clone()).build();
+        // No training happened; the engine runs with the given weights.
+        let trace = engine.simulate(2);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn compressed_engine_tracks_the_exact_one() {
+        let model = DeepPotModel::new(DeepPotConfig::tiny(1, 6.0));
+        let exact = Engine::builder().copper_cells(2).with_model(model.clone()).nve().seed(8).build();
+        let tabulated = Engine::builder()
+            .copper_cells(2)
+            .with_model(model)
+            .compressed(256)
+            .nve()
+            .seed(8)
+            .build();
+        let te = exact.simulate(5);
+        let tt = tabulated.simulate(5);
+        for (a, b) in te.iter().zip(&tt) {
+            assert!((a.pe - b.pe).abs() < 1e-4, "step {}: {} vs {}", a.step, a.pe, b.pe);
+        }
+    }
+
+    #[test]
+    fn nve_mode_conserves_energy_reasonably() {
+        let mut engine =
+            Engine::builder().copper_cells(2).training(2, 20).temperature(80.0).nve().seed(3).build();
+        let trace = engine.run(50);
+        let e0 = trace.first().unwrap().etotal;
+        let e1 = trace.last().unwrap().etotal;
+        let natoms = engine.simulation().atoms.nlocal as f64;
+        assert!(((e1 - e0) / natoms).abs() < 5e-3, "drift {}", ((e1 - e0) / natoms).abs());
+    }
+}

@@ -1,0 +1,68 @@
+//! At-scale performance prediction: the paper's headline numbers from the
+//! simulated machine.
+
+use dpmd_scaling::kernels::OptLevel;
+use dpmd_scaling::step_model::{StepBreakdown, StepModel};
+use dpmd_scaling::systems::SystemSpec;
+use fugaku::tofu::Torus3d;
+use minimd::atoms::Atoms;
+use minimd::domain::Decomposition;
+use minimd::simbox::SimBox;
+
+/// Performance predictor for one benchmark system at full paper size.
+pub struct Performance {
+    model: StepModel,
+    bx: SimBox,
+    atoms: Atoms,
+}
+
+impl Performance {
+    /// Build the full-size system (0.54 M Cu / 0.56 M H₂O atoms) once.
+    pub fn new(spec: SystemSpec) -> Self {
+        let model = StepModel::new(spec);
+        let (bx, atoms) = spec.build_full(1);
+        Performance { model, bx, atoms }
+    }
+
+    /// The benchmark spec.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.model.spec
+    }
+
+    /// Atom count of the built system.
+    pub fn natoms(&self) -> usize {
+        self.atoms.nlocal
+    }
+
+    /// Per-step breakdown on a node topology at an optimization level.
+    pub fn step(&self, nodes: [usize; 3], level: OptLevel) -> StepBreakdown {
+        let decomp = Decomposition::new(self.bx, nodes);
+        let torus = Torus3d::new(nodes);
+        self.model.evaluate(&decomp, &torus, &self.atoms, level)
+    }
+
+    /// Simulated nanoseconds per day.
+    pub fn nsday(&self, nodes: [usize; 3], level: OptLevel) -> f64 {
+        self.step(nodes, level).ns_per_day(self.model.spec.timestep_fs)
+    }
+
+    /// Speedup of the fully optimized code over the baseline on a topology.
+    pub fn speedup(&self, nodes: [usize; 3]) -> f64 {
+        self.nsday(nodes, OptLevel::CommLb) / self.nsday(nodes, OptLevel::Baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_768_nodes_prediction_is_sane() {
+        let perf = Performance::new(SystemSpec::copper());
+        assert!((perf.natoms() as f64 - 540_000.0).abs() / 540_000.0 < 0.02);
+        let nsday = perf.nsday([8, 12, 8], OptLevel::CommLb);
+        assert!(nsday > 5.0 && nsday < 200.0, "ns/day {nsday}");
+        let sp = perf.speedup([8, 12, 8]);
+        assert!(sp > 5.0, "speedup {sp}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Training-data generation.
+//!
+//! The real DeePMD-kit models are trained on DFT (AIMD) energies and forces.
+//! Per the substitution rule (no quantum-chemistry code, no datasets), the
+//! labels here come from `minimd`'s analytic many-body reference potentials:
+//! Sutton–Chen EAM for copper, the flexible water surrogate for H₂O. The
+//! training problem retains the same structure — learn a many-body PES from
+//! labelled configurations — which is what the accuracy experiments
+//! (Table II, Fig. 6) exercise.
+
+use minimd::atoms::Atoms;
+use minimd::integrate::init_velocities;
+use minimd::lattice::{fcc_lattice, water_box};
+use minimd::neighbor::{ListKind, NeighborList};
+use minimd::potential::eam::SuttonChen;
+use minimd::potential::water::WaterSurrogate;
+use minimd::potential::Potential;
+use minimd::simbox::SimBox;
+use minimd::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One labelled configuration.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The periodic box.
+    pub bx: SimBox,
+    /// Atoms (positions + types; velocities unused).
+    pub atoms: Atoms,
+    /// Reference total energy, eV.
+    pub energy: f64,
+    /// Reference forces, eV/Å.
+    pub forces: Vec<Vec3>,
+}
+
+/// Label a configuration with a reference potential.
+pub fn label(mut atoms: Atoms, bx: SimBox, pot: &dyn Potential) -> Frame {
+    let mut nl = NeighborList::new(pot.cutoff(), 1.0, ListKind::Full);
+    nl.build(&atoms, &bx);
+    atoms.zero_forces();
+    let out = pot.compute(&mut atoms, &nl, &bx);
+    let forces = atoms.force.clone();
+    Frame { bx, atoms, energy: out.energy, forces }
+}
+
+/// Random-perturbation frames of FCC copper: lattice positions jittered by
+/// up to `amp` Å plus a small random isotropic strain. Labels from
+/// Sutton–Chen EAM at the cutoff the paper uses for Cu (8 Å).
+pub fn copper_frames(n_frames: usize, cells: usize, amp: f64, seed: u64) -> Vec<Frame> {
+    let pot = SuttonChen::copper(8.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_frames)
+        .map(|_| {
+            let strain = 1.0 + rng.random_range(-0.02..0.02);
+            let (bx, mut atoms) = fcc_lattice(cells, cells, cells, minimd::units::CU_LATTICE * strain);
+            for p in &mut atoms.pos {
+                *p = bx.wrap(
+                    *p + Vec3::new(
+                        rng.random_range(-amp..amp),
+                        rng.random_range(-amp..amp),
+                        rng.random_range(-amp..amp),
+                    ),
+                );
+            }
+            label(atoms, bx, &pot)
+        })
+        .collect()
+}
+
+/// Water frames: lattice-built boxes with different seeds, optionally
+/// pre-equilibrated by a short thermostatted MD run (more liquid-like
+/// configurations, better-conditioned labels).
+pub fn water_frames(n_frames: usize, cells: usize, equil_steps: u64, seed: u64) -> Vec<Frame> {
+    let pot = WaterSurrogate::standard(6.0);
+    (0..n_frames)
+        .map(|k| {
+            let (bx, mut atoms) = water_box(cells, cells, cells, seed.wrapping_add(k as u64 * 7919));
+            if equil_steps > 0 {
+                use minimd::integrate::{Thermostat, VelocityVerlet};
+                use minimd::sim::Simulation;
+                init_velocities(&mut atoms, 300.0, seed ^ k as u64);
+                let mut vv = VelocityVerlet::new(0.5 * minimd::units::FEMTOSECOND);
+                vv.thermostat = Thermostat::Rescale { t_target: 300.0 };
+                let mut sim =
+                    Simulation::new(bx, atoms, Box::new(WaterSurrogate::standard(6.0)), vv, 1.0, 50);
+                sim.run(equil_steps);
+                return label(sim.atoms, sim.bx, &pot);
+            }
+            label(atoms, bx, &pot)
+        })
+        .collect()
+}
+
+/// Split frames into (train, validation) at `train_fraction`.
+pub fn split(frames: Vec<Frame>, train_fraction: f64) -> (Vec<Frame>, Vec<Frame>) {
+    assert!((0.0..=1.0).contains(&train_fraction));
+    let n_train = ((frames.len() as f64) * train_fraction).round() as usize;
+    let mut frames = frames;
+    let val = frames.split_off(n_train.min(frames.len()));
+    (frames, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_frames_are_labelled_and_distinct() {
+        let frames = copper_frames(3, 3, 0.1, 1);
+        assert_eq!(frames.len(), 3);
+        for f in &frames {
+            assert_eq!(f.atoms.nlocal, 4 * 27);
+            assert_eq!(f.forces.len(), f.atoms.len());
+            assert!(f.energy < 0.0, "cohesive reference energy");
+            // Perturbed lattice ⇒ non-zero forces.
+            assert!(f.forces.iter().any(|fr| fr.norm() > 1e-3));
+        }
+        assert_ne!(frames[0].energy, frames[1].energy);
+    }
+
+    #[test]
+    fn water_frames_have_three_site_molecules() {
+        let frames = water_frames(2, 2, 0, 5);
+        for f in &frames {
+            assert_eq!(f.atoms.nlocal % 3, 0);
+            assert!(f.energy.is_finite());
+        }
+    }
+
+    #[test]
+    fn split_respects_fraction() {
+        let frames = copper_frames(4, 2, 0.05, 2);
+        let (tr, va) = split(frames, 0.75);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(va.len(), 1);
+    }
+}

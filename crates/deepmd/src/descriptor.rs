@@ -1,0 +1,237 @@
+//! The smoothed local environment (paper Fig. 1a).
+//!
+//! For central atom `i` and each neighbour `j` within `r_c`, the generalized
+//! coordinates are
+//!
+//! ```text
+//! R̃_j = ( s(r),  s(r)·x/r,  s(r)·y/r,  s(r)·z/r ),   (x,y,z) = r_j − r_i
+//! ```
+//!
+//! where `s(r)` is the smooth switching weight: `1/r` inside `r_cs`, a C²
+//! polynomial taper between `r_cs` and `r_c`, zero outside. Smoothness of
+//! `s` is what makes Deep Potential forces conservative across neighbour-
+//! list changes.
+
+use minimd::atoms::Atoms;
+use minimd::neighbor::NeighborList;
+use minimd::simbox::SimBox;
+use minimd::vec3::Vec3;
+
+/// `s(r)` and its derivative `ds/dr`.
+///
+/// DeePMD-kit's smoothing: with `u = (r − r_cs)/(r_c − r_cs)`,
+/// `s = 1/r` for `r < r_cs`; `s = [u³(−6u² + 15u − 10) + 1]/r` on the taper;
+/// `0` beyond `r_c`.
+pub fn smooth(r: f64, rcut_smth: f64, rcut: f64) -> (f64, f64) {
+    debug_assert!(r > 0.0);
+    if r >= rcut {
+        (0.0, 0.0)
+    } else if r < rcut_smth {
+        (1.0 / r, -1.0 / (r * r))
+    } else {
+        let du_dr = 1.0 / (rcut - rcut_smth);
+        let u = (r - rcut_smth) * du_dr;
+        let poly = u * u * u * (-6.0 * u * u + 15.0 * u - 10.0) + 1.0;
+        let dpoly_du = u * u * (-30.0 * u * u + 60.0 * u - 30.0);
+        let s = poly / r;
+        let ds = dpoly_du * du_dr / r - poly / (r * r);
+        (s, ds)
+    }
+}
+
+/// One neighbour's contribution to the environment of a central atom.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvEntry {
+    /// Index of the neighbour in the atom arrays (may be a ghost).
+    pub j: u32,
+    /// Species of the neighbour.
+    pub typ: u32,
+    /// Displacement `r_j − r_i`, Å.
+    pub disp: Vec3,
+    /// Distance, Å.
+    pub r: f64,
+    /// Switching weight `s(r)`.
+    pub s: f64,
+    /// `ds/dr`.
+    pub ds_dr: f64,
+}
+
+impl EnvEntry {
+    /// The four generalized coordinates `R̃ = (s, s·x/r, s·y/r, s·z/r)`.
+    #[inline]
+    pub fn coords(&self) -> [f64; 4] {
+        let f = self.s / self.r;
+        [self.s, f * self.disp.x, f * self.disp.y, f * self.disp.z]
+    }
+
+    /// Gradient of each generalized coordinate w.r.t. the displacement
+    /// vector `d = r_j − r_i`: a 4×3 Jacobian.
+    pub fn coord_grads(&self) -> [[f64; 3]; 4] {
+        let d = self.disp;
+        let r = self.r;
+        let inv_r = 1.0 / r;
+        let s = self.s;
+        let ds = self.ds_dr;
+        // ∂s/∂d = s'(r) · d/r
+        let dsdd = [ds * d.x * inv_r, ds * d.y * inv_r, ds * d.z * inv_r];
+        let mut out = [[0.0; 3]; 4];
+        out[0] = dsdd;
+        // c_k = s · d_k / r  (k = x,y,z)
+        // ∂c_k/∂d_l = (s'·d_l/r)(d_k/r) + s·(δ_kl/r − d_k d_l/r³)
+        let comps = [d.x, d.y, d.z];
+        for k in 0..3 {
+            for l in 0..3 {
+                let delta = if k == l { 1.0 } else { 0.0 };
+                out[k + 1][l] = dsdd[l] * comps[k] * inv_r
+                    + s * (delta * inv_r - comps[k] * comps[l] * inv_r * inv_r * inv_r);
+            }
+        }
+        out
+    }
+}
+
+/// The environment of one central atom: its neighbours within `r_c`.
+#[derive(Clone, Debug, Default)]
+pub struct Environment {
+    /// Entries, in neighbour-list order (or type-sorted — see `typesort`).
+    pub entries: Vec<EnvEntry>,
+}
+
+/// Build environments for every local atom from the neighbour list.
+///
+/// Distances beyond `rcut` are filtered here (the Verlet list includes the
+/// skin). Ghost-aware: displacements are direct when ghosts are present,
+/// minimum-image otherwise.
+pub fn build_environments(
+    atoms: &Atoms,
+    nl: &NeighborList,
+    bx: &SimBox,
+    rcut_smth: f64,
+    rcut: f64,
+) -> Vec<Environment> {
+    let use_min_image = atoms.nghost() == 0;
+    let rc2 = rcut * rcut;
+    (0..atoms.nlocal)
+        .map(|i| {
+            let mut entries = Vec::with_capacity(nl.neighbors(i).len());
+            for &ju in nl.neighbors(i) {
+                let j = ju as usize;
+                let disp = if use_min_image {
+                    bx.min_image(atoms.pos[j], atoms.pos[i])
+                } else {
+                    atoms.pos[j] - atoms.pos[i]
+                };
+                let r2 = disp.norm2();
+                if r2 > rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (s, ds_dr) = smooth(r, rcut_smth, rcut);
+                entries.push(EnvEntry { j: ju, typ: atoms.typ[j], disp, r, s, ds_dr });
+            }
+            Environment { entries }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimd::lattice::fcc_copper;
+    use minimd::neighbor::{ListKind, NeighborList};
+
+    #[test]
+    fn smooth_is_continuous_at_both_knots() {
+        let (rs, rc) = (2.0, 6.0);
+        let eps = 1e-9;
+        // At r_cs: s must equal 1/r from both sides.
+        let (below, _) = smooth(rs - eps, rs, rc);
+        let (above, _) = smooth(rs + eps, rs, rc);
+        assert!((below - above).abs() < 1e-6);
+        // At r_c: taper reaches exactly zero.
+        let (at_rc, d_at_rc) = smooth(rc - 1e-12, rs, rc);
+        assert!(at_rc.abs() < 1e-9);
+        assert!(d_at_rc.abs() < 1e-6, "C1 at the cutoff");
+        assert_eq!(smooth(rc + 0.1, rs, rc), (0.0, 0.0));
+    }
+
+    #[test]
+    fn smooth_derivative_matches_finite_difference() {
+        let (rs, rc) = (0.5, 6.0);
+        let h = 1e-7;
+        for &r in &[0.8, 1.5, 2.5, 4.0, 5.5, 5.99] {
+            let (_, ds) = smooth(r, rs, rc);
+            let (sp, _) = smooth(r + h, rs, rc);
+            let (sm, _) = smooth(r - h, rs, rc);
+            let fd = (sp - sm) / (2.0 * h);
+            assert!((fd - ds).abs() < 1e-5, "r={r}: fd={fd}, ds={ds}");
+        }
+    }
+
+    #[test]
+    fn coord_grads_match_finite_difference() {
+        let (rs, rc) = (0.5, 6.0);
+        let base = Vec3::new(1.2, -0.7, 2.1);
+        let h = 1e-7;
+        let entry_at = |d: Vec3| {
+            let r = d.norm();
+            let (s, ds_dr) = smooth(r, rs, rc);
+            EnvEntry { j: 0, typ: 0, disp: d, r, s, ds_dr }
+        };
+        let grads = entry_at(base).coord_grads();
+        for comp in 0..4 {
+            for axis in 0..3 {
+                let mut dp = base;
+                dp[axis] += h;
+                let mut dm = base;
+                dm[axis] -= h;
+                let fd = (entry_at(dp).coords()[comp] - entry_at(dm).coords()[comp]) / (2.0 * h);
+                assert!(
+                    (fd - grads[comp][axis]).abs() < 1e-6,
+                    "comp {comp} axis {axis}: fd={fd} an={}",
+                    grads[comp][axis]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn environments_filter_skin_pairs() {
+        let (bx, atoms) = fcc_copper(5, 5, 5);
+        let mut nl = NeighborList::new(6.0, 2.0, ListKind::Full);
+        nl.build(&atoms, &bx);
+        let envs = build_environments(&atoms, &nl, &bx, 0.5, 6.0);
+        assert_eq!(envs.len(), atoms.nlocal);
+        for (i, env) in envs.iter().enumerate() {
+            // Every entry strictly inside the cutoff.
+            assert!(env.entries.iter().all(|e| e.r <= 6.0));
+            // The Verlet list over-counts (skin); the env must be smaller.
+            assert!(env.entries.len() <= nl.neighbors(i).len());
+            // FCC at rc=6 Å: shells at a/√2, a, a√1.5, a√2, a√2.5 hold
+            // 12+6+24+12+24 = 78 neighbours.
+            assert_eq!(env.entries.len(), 78, "atom {i}");
+        }
+    }
+
+    #[test]
+    fn environment_is_translation_invariant() {
+        let (bx, mut atoms) = fcc_copper(5, 5, 5);
+        let mut nl = NeighborList::new(6.0, 1.0, ListKind::Full);
+        nl.build(&atoms, &bx);
+        let before = build_environments(&atoms, &nl, &bx, 0.5, 6.0);
+        // Rigid translation (with wrap): all environments identical.
+        for p in &mut atoms.pos {
+            *p = bx.wrap(*p + Vec3::new(1.37, -2.2, 0.64));
+        }
+        nl.build(&atoms, &bx);
+        let after = build_environments(&atoms, &nl, &bx, 0.5, 6.0);
+        for (a, b) in before.iter().zip(&after) {
+            // Sort coordinates because neighbour order may differ.
+            let mut ca: Vec<_> = a.entries.iter().map(|e| (e.r * 1e8).round() as i64).collect();
+            let mut cb: Vec<_> = b.entries.iter().map(|e| (e.r * 1e8).round() as i64).collect();
+            ca.sort_unstable();
+            cb.sort_unstable();
+            assert_eq!(ca, cb);
+        }
+    }
+}

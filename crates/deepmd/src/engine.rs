@@ -1,0 +1,438 @@
+//! Mixed-precision inference engines (§III-B3).
+//!
+//! * `Double` — delegates to the f64 reference implementation.
+//! * `Mix32` — embedding-net and fitting-net arithmetic in f32 (descriptor
+//!   assembly in f32 as well, per ref [42]); force accumulation stays f64.
+//! * `Mix16` — like `Mix32`, but the first-layer fitting-net GEMMs (forward
+//!   and backward) run on binary16-stored operands with f32 accumulation —
+//!   the paper's fp16-sve-gemm.
+//!
+//! These paths share the exact dataflow of [`crate::model::DeepPotModel`];
+//! Table II and Fig. 6 measure how far the reduced-precision energies and
+//! forces drift from the Double path and from the reference labels.
+
+use minimd::atoms::Atoms;
+use minimd::neighbor::NeighborList;
+use minimd::potential::{Potential, PotentialOutput};
+use minimd::simbox::SimBox;
+use minimd::vec3::Vec3;
+use nnet::activation::Activation;
+use nnet::f16::F16;
+use nnet::gemm::simd;
+use nnet::layers::Resnet;
+use nnet::precision::Precision;
+
+use crate::descriptor::build_environments;
+use crate::model::DeepPotModel;
+
+/// One embedding net with weights cast to f32.
+#[derive(Clone, Debug)]
+struct Emb32 {
+    // per layer: (w in×out, b, act, resnet, in, out)
+    layers: Vec<(Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize)>,
+}
+
+impl Emb32 {
+    fn from_model(net: &crate::embedding::EmbeddingNet) -> Self {
+        let layers = net
+            .mlp
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    l.w.as_slice().iter().map(|&x| x as f32).collect(),
+                    l.b.iter().map(|&x| x as f32).collect(),
+                    l.act,
+                    l.resnet,
+                    l.in_dim(),
+                    l.out_dim(),
+                )
+            })
+            .collect();
+        Emb32 { layers }
+    }
+
+    /// f32 forward-mode value + derivative at scalar input `s`.
+    fn forward_with_grad(&self, s: f32) -> (Vec<f32>, Vec<f32>) {
+        let mut val = vec![s];
+        let mut tan = vec![1.0f32];
+        for (w, b, act, resnet, ind, outd) in &self.layers {
+            let mut pre = b.clone();
+            let mut dpre = vec![0.0f32; *outd];
+            for i in 0..*ind {
+                let vi = val[i];
+                let ti = tan[i];
+                let row = &w[i * outd..(i + 1) * outd];
+                for (o, &wv) in row.iter().enumerate() {
+                    pre[o] += vi * wv;
+                    dpre[o] += ti * wv;
+                }
+            }
+            let mut out = vec![0.0f32; *outd];
+            let mut dout = vec![0.0f32; *outd];
+            for o in 0..*outd {
+                out[o] = act.apply_f32(pre[o]);
+                // act' computed in f32 from the f32 pre-activation.
+                dout[o] = (act.derivative(pre[o] as f64) as f32) * dpre[o];
+            }
+            match resnet {
+                Resnet::None => {}
+                Resnet::Identity => {
+                    for i in 0..*ind {
+                        out[i] += val[i];
+                        dout[i] += tan[i];
+                    }
+                }
+                Resnet::Doubling => {
+                    for i in 0..*ind {
+                        out[i] += val[i];
+                        out[i + ind] += val[i];
+                        dout[i] += tan[i];
+                        dout[i + ind] += tan[i];
+                    }
+                }
+            }
+            val = out;
+            tan = dout;
+        }
+        (val, tan)
+    }
+}
+
+/// One fitting net with f32 weights (and binary16 copies of the first
+/// layer's weight matrices for the `Mix16` path).
+#[derive(Clone, Debug)]
+struct Fit32 {
+    layers: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize)>,
+    // First-layer fp16 copies: weights (in×out) and transpose (out×in).
+    w16_first: Vec<F16>,
+    wt16_first: Vec<F16>,
+}
+
+impl Fit32 {
+    fn from_model(net: &crate::fitting::FittingNet) -> Self {
+        let layers: Vec<_> = net
+            .mlp
+            .layers
+            .iter()
+            .map(|l| {
+                let w: Vec<f32> = l.w.as_slice().iter().map(|&x| x as f32).collect();
+                let wt: Vec<f32> = l.w.transpose().as_slice().iter().map(|&x| x as f32).collect();
+                let b: Vec<f32> = l.b.iter().map(|&x| x as f32).collect();
+                (w, wt, b, l.act, l.resnet, l.in_dim(), l.out_dim())
+            })
+            .collect();
+        let w16_first = layers[0].0.iter().map(|&x| F16::from_f32(x)).collect();
+        let wt16_first = layers[0].1.iter().map(|&x| F16::from_f32(x)).collect();
+        Fit32 { layers, w16_first, wt16_first }
+    }
+
+    /// Energy and ∂E/∂D for a single descriptor row, in f32 (first-layer
+    /// GEMMs in fp16 when `f16_first` is set).
+    fn energy_and_grad(&self, d: &[f32], f16_first: bool) -> (f32, Vec<f32>) {
+        let nl = self.layers.len();
+        // Forward, saving biased pre-activations and inputs.
+        let mut pres: Vec<Vec<f32>> = Vec::with_capacity(nl);
+        let mut inputs: Vec<Vec<f32>> = Vec::with_capacity(nl);
+        let mut x = d.to_vec();
+        for (li, (w, _, b, act, resnet, ind, outd)) in self.layers.iter().enumerate() {
+            let mut pre = vec![0.0f32; *outd];
+            if li == 0 && f16_first {
+                let x16: Vec<F16> = x.iter().map(|&v| F16::from_f32(v)).collect();
+                simd::gemm_nn_f16(1, *outd, *ind, &x16, &self.w16_first, &mut pre);
+            } else {
+                simd::gemm_nn_f32(1, *outd, *ind, &x, w, &mut pre);
+            }
+            for (p, &bb) in pre.iter_mut().zip(b) {
+                *p += bb;
+            }
+            let mut out: Vec<f32> = pre.iter().map(|&p| act.apply_f32(p)).collect();
+            match resnet {
+                Resnet::None => {}
+                Resnet::Identity => {
+                    for i in 0..*ind {
+                        out[i] += x[i];
+                    }
+                }
+                Resnet::Doubling => {
+                    for i in 0..*ind {
+                        out[i] += x[i];
+                        out[i + ind] += x[i];
+                    }
+                }
+            }
+            pres.push(pre);
+            inputs.push(x);
+            x = out;
+        }
+        let energy = x[0];
+
+        // Backward with unit cotangent.
+        let mut g = vec![1.0f32];
+        for (li, (_, wt, _, act, resnet, ind, outd)) in self.layers.iter().enumerate().rev() {
+            let pre = &pres[li];
+            let mut dpre = vec![0.0f32; *outd];
+            for o in 0..*outd {
+                dpre[o] = g[o] * (act.derivative(pre[o] as f64) as f32);
+            }
+            let mut dx = vec![0.0f32; *ind];
+            if li == 0 && f16_first {
+                let dpre16: Vec<F16> = dpre.iter().map(|&v| F16::from_f32(v)).collect();
+                simd::gemm_nn_f16(1, *ind, *outd, &dpre16, &self.wt16_first, &mut dx);
+            } else {
+                simd::gemm_nn_f32(1, *ind, *outd, &dpre, wt, &mut dx);
+            }
+            match resnet {
+                Resnet::None => {}
+                Resnet::Identity => {
+                    for i in 0..*ind {
+                        dx[i] += g[i];
+                    }
+                }
+                Resnet::Doubling => {
+                    for i in 0..*ind {
+                        dx[i] += g[i] + g[i + ind];
+                    }
+                }
+            }
+            g = dx;
+        }
+        let _ = &inputs;
+        (energy, g)
+    }
+}
+
+/// A precision-parameterized inference engine over a trained model.
+pub struct DpEngine {
+    /// The underlying f64 model (reference path and source of weights).
+    pub model: DeepPotModel,
+    /// Active precision mode.
+    pub precision: Precision,
+    emb32: Vec<Emb32>,
+    fit32: Vec<Fit32>,
+}
+
+impl DpEngine {
+    /// Build an engine at the given precision (weights are cast once here —
+    /// the paper's "preprocess the transpose in the initial phase" applies
+    /// to these cached copies too).
+    pub fn new(model: DeepPotModel, precision: Precision) -> Self {
+        let emb32 = model.embeddings.iter().map(Emb32::from_model).collect();
+        let fit32 = model.fittings.iter().map(Fit32::from_model).collect();
+        DpEngine { model, precision, emb32, fit32 }
+    }
+
+    /// Total energy at the engine's precision.
+    pub fn energy(&self, atoms: &Atoms, nl: &NeighborList, bx: &SimBox) -> f64 {
+        let mut forces = vec![Vec3::ZERO; atoms.len()];
+        self.energy_forces(atoms, nl, bx, &mut forces).energy
+    }
+
+    /// Energy + forces at the engine's precision (forces accumulated f64).
+    pub fn energy_forces(
+        &self,
+        atoms: &Atoms,
+        nl: &NeighborList,
+        bx: &SimBox,
+        forces: &mut [Vec3],
+    ) -> PotentialOutput {
+        if self.precision == Precision::Double {
+            return self.model.energy_forces(atoms, nl, bx, forces);
+        }
+        let f16_first = self.precision == Precision::Mix16;
+        let cfg = &self.model.config;
+        let m1 = cfg.m1();
+        let m2 = cfg.m2;
+        let inv_nm = 1.0f32 / cfg.nmax as f32;
+        let envs = build_environments(atoms, nl, bx, cfg.rcut_smth, cfg.rcut);
+
+        let mut total_e = 0.0f64;
+        let mut virial = 0.0f64;
+        for i in 0..atoms.nlocal {
+            let env = &envs[i];
+            let n = env.entries.len();
+            let ti = atoms.typ[i] as usize;
+
+            // Embedding + T in f32.
+            let mut g = vec![0.0f32; n * m1];
+            let mut dg_ds = vec![0.0f32; n * m1];
+            let mut t = vec![0.0f32; m1 * 4];
+            let mut coords = vec![[0.0f32; 4]; n];
+            for (k, e) in env.entries.iter().enumerate() {
+                let (gv, dgv) = self.emb32[e.typ as usize].forward_with_grad(e.s as f32);
+                let c64 = e.coords();
+                let c = [c64[0] as f32, c64[1] as f32, c64[2] as f32, c64[3] as f32];
+                coords[k] = c;
+                for m in 0..m1 {
+                    g[k * m1 + m] = gv[m];
+                    dg_ds[k * m1 + m] = dgv[m];
+                    for cc in 0..4 {
+                        t[m * 4 + cc] += gv[m] * c[cc] * inv_nm;
+                    }
+                }
+            }
+            // D in f32.
+            let mut d = vec![0.0f32; m1 * m2];
+            for a in 0..m1 {
+                for b in 0..m2 {
+                    let mut acc = 0.0f32;
+                    for c in 0..4 {
+                        acc += t[a * 4 + c] * t[b * 4 + c];
+                    }
+                    d[a * m2 + b] = acc;
+                }
+            }
+            let (e_fit, de_dd) = self.fit32[ti].energy_and_grad(&d, f16_first);
+            total_e += e_fit as f64 + self.model.energy_bias[ti];
+
+            // dT.
+            let mut dt = vec![0.0f32; m1 * 4];
+            for a in 0..m1 {
+                for b in 0..m2 {
+                    let aab = de_dd[a * m2 + b];
+                    for c in 0..4 {
+                        dt[a * 4 + c] += aab * t[b * 4 + c];
+                        dt[b * 4 + c] += aab * t[a * 4 + c];
+                    }
+                }
+            }
+            // Per-neighbour chain rule; force accumulation in f64.
+            for (k, e) in env.entries.iter().enumerate() {
+                let c = coords[k];
+                let mut de_ds = 0.0f32;
+                let mut de_drt = [0.0f32; 4];
+                for m in 0..m1 {
+                    let mut de_dg = 0.0f32;
+                    for cc in 0..4 {
+                        de_dg += dt[m * 4 + cc] * c[cc];
+                        de_drt[cc] += dt[m * 4 + cc] * g[k * m1 + m];
+                    }
+                    de_ds += de_dg * inv_nm * dg_ds[k * m1 + m];
+                }
+                for v in &mut de_drt {
+                    *v *= inv_nm;
+                }
+                let grads = e.coord_grads();
+                let inv_r = 1.0 / e.r;
+                let dsdd = [
+                    e.ds_dr * e.disp.x * inv_r,
+                    e.ds_dr * e.disp.y * inv_r,
+                    e.ds_dr * e.disp.z * inv_r,
+                ];
+                let mut de_dd_vec = Vec3::ZERO;
+                for axis in 0..3 {
+                    let mut v = de_ds as f64 * dsdd[axis];
+                    for cc in 0..4 {
+                        v += de_drt[cc] as f64 * grads[cc][axis];
+                    }
+                    de_dd_vec[axis] = v;
+                }
+                let j = e.j as usize;
+                forces[j] -= de_dd_vec;
+                forces[i] += de_dd_vec;
+                virial += de_dd_vec.dot(e.disp);
+            }
+        }
+        PotentialOutput { energy: total_e, virial: -virial }
+    }
+}
+
+/// [`Potential`] adapter: a mixed-precision engine drives `minimd`'s
+/// simulation loop exactly like the reference model (used by the Fig. 6
+/// RDF-under-three-precisions experiment).
+impl Potential for DpEngine {
+    fn compute(&self, atoms: &mut Atoms, nl: &NeighborList, bx: &SimBox) -> PotentialOutput {
+        let mut forces = std::mem::take(&mut atoms.force);
+        let out = self.energy_forces(atoms, nl, bx, &mut forces);
+        atoms.force = forces;
+        out
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.model.config.rcut
+    }
+
+    fn name(&self) -> &'static str {
+        match self.precision {
+            Precision::Double => "deep-potential (double)",
+            Precision::Mix32 => "deep-potential (MIX-fp32)",
+            Precision::Mix16 => "deep-potential (MIX-fp16)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeepPotConfig;
+    use minimd::lattice::fcc_copper;
+    use minimd::neighbor::ListKind;
+
+    fn setup() -> (DeepPotModel, SimBox, Atoms, NeighborList) {
+        let model = DeepPotModel::new(DeepPotConfig::tiny(1, 5.0));
+        let (bx, mut atoms) = fcc_copper(4, 4, 4);
+        // Perturb so forces are non-trivial.
+        for (k, p) in atoms.pos.iter_mut().enumerate() {
+            p.x += 0.05 * ((k % 7) as f64 - 3.0) / 3.0;
+            p.z += 0.04 * ((k % 5) as f64 - 2.0) / 2.0;
+        }
+        let mut nl = NeighborList::new(model.config.rcut, 0.5, ListKind::Full);
+        nl.build(&atoms, &bx);
+        (model, bx, atoms, nl)
+    }
+
+    #[test]
+    fn double_engine_is_bit_identical_to_reference() {
+        let (model, bx, atoms, nl) = setup();
+        let engine = DpEngine::new(model.clone(), Precision::Double);
+        let mut f_ref = vec![Vec3::ZERO; atoms.len()];
+        let mut f_eng = vec![Vec3::ZERO; atoms.len()];
+        let out_ref = model.energy_forces(&atoms, &nl, &bx, &mut f_ref);
+        let out_eng = engine.energy_forces(&atoms, &nl, &bx, &mut f_eng);
+        assert_eq!(out_ref.energy, out_eng.energy);
+        assert_eq!(f_ref, f_eng);
+    }
+
+    #[test]
+    fn precision_error_ordering_double_fp32_fp16() {
+        let (model, bx, atoms, nl) = setup();
+        let e64 = DpEngine::new(model.clone(), Precision::Double).energy(&atoms, &nl, &bx);
+        let e32 = DpEngine::new(model.clone(), Precision::Mix32).energy(&atoms, &nl, &bx);
+        let e16 = DpEngine::new(model.clone(), Precision::Mix16).energy(&atoms, &nl, &bx);
+        let n = atoms.nlocal as f64;
+        let err32 = ((e32 - e64) / n).abs();
+        let err16 = ((e16 - e64) / n).abs();
+        assert!(err32 > 0.0, "fp32 path must actually round");
+        assert!(err16 > err32, "fp16 error must exceed fp32: {err16:.3e} vs {err32:.3e}");
+        // Both should stay far below physical energy scales (eV/atom).
+        assert!(err32 < 1e-3, "err32 {err32:.3e}");
+        assert!(err16 < 5e-2, "err16 {err16:.3e}");
+    }
+
+    #[test]
+    fn mixed_precision_forces_stay_close_to_double() {
+        let (model, bx, atoms, nl) = setup();
+        let mut f64p = vec![Vec3::ZERO; atoms.len()];
+        let mut f32p = vec![Vec3::ZERO; atoms.len()];
+        let mut f16p = vec![Vec3::ZERO; atoms.len()];
+        DpEngine::new(model.clone(), Precision::Double).energy_forces(&atoms, &nl, &bx, &mut f64p);
+        DpEngine::new(model.clone(), Precision::Mix32).energy_forces(&atoms, &nl, &bx, &mut f32p);
+        DpEngine::new(model.clone(), Precision::Mix16).energy_forces(&atoms, &nl, &bx, &mut f16p);
+        let rms = |a: &[Vec3], b: &[Vec3]| {
+            (a.iter().zip(b).map(|(x, y)| (*x - *y).norm2()).sum::<f64>() / (3.0 * a.len() as f64)).sqrt()
+        };
+        let d32 = rms(&f64p, &f32p);
+        let d16 = rms(&f64p, &f16p);
+        assert!(d32 > 0.0 && d32 < 1e-4, "fp32 force deviation {d32:.3e}");
+        assert!(d16 >= d32 && d16 < 1e-2, "fp16 force deviation {d16:.3e}");
+    }
+
+    #[test]
+    fn mixed_precision_conserves_momentum() {
+        let (model, bx, atoms, nl) = setup();
+        let mut f = vec![Vec3::ZERO; atoms.len()];
+        DpEngine::new(model, Precision::Mix16).energy_forces(&atoms, &nl, &bx, &mut f);
+        let net = f.iter().fold(Vec3::ZERO, |a, &x| a + x);
+        assert!(net.norm() < 1e-8, "net force {net:?}");
+    }
+}

@@ -1,0 +1,443 @@
+//! The Deep Potential model: energy via forward propagation, forces via the
+//! analytic backward pass (paper Fig. 1b).
+//!
+//! The f64 implementation here is the *reference* path; the mixed-precision
+//! and TensorFlow-graph execution paths (crate modules [`crate::engine`] and
+//! the `nnet::graph` baseline) are validated against it.
+
+use minimd::atoms::Atoms;
+use minimd::neighbor::NeighborList;
+use minimd::potential::{Potential, PotentialOutput};
+use minimd::simbox::SimBox;
+use minimd::vec3::Vec3;
+use nnet::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::compress::CompressedEmbedding;
+use crate::config::DeepPotConfig;
+use crate::descriptor::{build_environments, Environment};
+use crate::embedding::EmbeddingNet;
+use crate::fitting::FittingNet;
+
+/// A complete Deep Potential model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeepPotModel {
+    /// Hyper-parameters.
+    pub config: DeepPotConfig,
+    /// One embedding net per *neighbour* species.
+    pub embeddings: Vec<EmbeddingNet>,
+    /// One fitting net per *central* species.
+    pub fittings: Vec<FittingNet>,
+    /// Per-species energy bias (fitted to the reference data's mean).
+    pub energy_bias: Vec<f64>,
+    /// DP-Compress tables (one per species) replacing the embedding MLPs
+    /// during evaluation when present — the compression of ref [42] that
+    /// the baseline work [33] already deploys on Fugaku.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub compressed: Option<Vec<CompressedEmbedding>>,
+}
+
+/// Everything the backward pass needs about one atom's forward evaluation.
+struct AtomForward {
+    /// Per-neighbour embedding features (n × M₁, row-major).
+    g: Vec<f64>,
+    /// Per-neighbour feature derivative w.r.t. s (n × M₁).
+    dg_ds: Vec<f64>,
+    /// T = GᵀR̃/nmax (M₁ × 4, row-major).
+    t: Vec<f64>,
+    /// Atomic energy.
+    energy: f64,
+    /// ∂E/∂D (M₁ × M₂, row-major).
+    de_dd: Vec<f64>,
+}
+
+impl DeepPotModel {
+    /// A freshly initialized (untrained) model.
+    pub fn new(config: DeepPotConfig) -> Self {
+        config.validate();
+        let embeddings = (0..config.ntypes)
+            .map(|t| EmbeddingNet::new(&config.embedding_widths, config.seed ^ (t as u64).wrapping_mul(0x9e37)))
+            .collect();
+        let fittings = (0..config.ntypes)
+            .map(|t| {
+                FittingNet::new(
+                    config.descriptor_len(),
+                    &config.fitting_widths,
+                    config.seed ^ (t as u64).wrapping_mul(0x85eb) ^ 0xffff,
+                )
+            })
+            .collect();
+        let energy_bias = vec![0.0; config.ntypes];
+        DeepPotModel { config, embeddings, fittings, energy_bias, compressed: None }
+    }
+
+    /// Build DP-Compress tables from the (trained) embedding nets and use
+    /// them for every subsequent evaluation. `intervals` controls accuracy
+    /// (the paper-style deployment uses a few hundred).
+    ///
+    /// The table domain covers `s ∈ [0, s_max]` with
+    /// `s_max = 1/min(r_cs, 0.8 Å)` — every physically reachable switching
+    /// value; out-of-range inputs clamp (documented in `compress`).
+    pub fn enable_compression(&mut self, intervals: usize) {
+        let s_max = 1.0 / self.config.rcut_smth.min(0.8);
+        self.compressed = Some(
+            self.embeddings
+                .iter()
+                .map(|e| CompressedEmbedding::build(e, 0.0, s_max, intervals))
+                .collect(),
+        );
+    }
+
+    /// Drop the compression tables (back to exact MLP evaluation).
+    pub fn disable_compression(&mut self) {
+        self.compressed = None;
+    }
+
+    /// Embedding features and s-derivative for species `typ` at `s`,
+    /// through the table when compression is enabled.
+    #[inline]
+    fn embed(&self, typ: usize, s: f64) -> (Vec<f64>, Vec<f64>) {
+        match &self.compressed {
+            Some(tables) => tables[typ].forward_with_grad(s),
+            None => self.embeddings[typ].forward_with_grad(s),
+        }
+    }
+
+    /// Serialize to JSON (the "model file" the real code loads through TF).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Forward pass for one atom's environment: features, T, energy, ∂E/∂D.
+    fn forward_atom(&self, typ: u32, env: &Environment) -> AtomForward {
+        let m1 = self.config.m1();
+        let m2 = self.config.m2;
+        let n = env.entries.len();
+        let inv_nm = 1.0 / self.config.nmax as f64;
+
+        let mut g = vec![0.0; n * m1];
+        let mut dg_ds = vec![0.0; n * m1];
+        let mut t = vec![0.0; m1 * 4];
+        for (k, e) in env.entries.iter().enumerate() {
+            let (gv, dgv) = self.embed(e.typ as usize, e.s);
+            let coords = e.coords();
+            for m in 0..m1 {
+                g[k * m1 + m] = gv[m];
+                dg_ds[k * m1 + m] = dgv[m];
+                for c in 0..4 {
+                    t[m * 4 + c] += gv[m] * coords[c] * inv_nm;
+                }
+            }
+        }
+        // D = T · T₂ᵀ (M₁ × M₂).
+        let mut d = vec![0.0; m1 * m2];
+        for a in 0..m1 {
+            for b in 0..m2 {
+                let mut acc = 0.0;
+                for c in 0..4 {
+                    acc += t[a * 4 + c] * t[b * 4 + c];
+                }
+                d[a * m2 + b] = acc;
+            }
+        }
+        let dm = Matrix::from_vec(1, m1 * m2, d);
+        let (e_out, de_dd_m) = self.fittings[typ as usize].energy_and_grad(&dm);
+        AtomForward {
+            g,
+            dg_ds,
+            t,
+            energy: e_out[0] + self.energy_bias[typ as usize],
+            de_dd: de_dd_m.into_vec(),
+        }
+    }
+
+    /// Total energy only (no forces) — used by finite-difference tests and
+    /// the trainer's loss evaluation.
+    pub fn energy(&self, atoms: &Atoms, nl: &NeighborList, bx: &SimBox) -> f64 {
+        let envs = build_environments(atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
+        (0..atoms.nlocal).map(|i| self.forward_atom(atoms.typ[i], &envs[i]).energy).sum()
+    }
+
+    /// Per-atom energies (for training-bias fitting and diagnostics).
+    pub fn atomic_energies(&self, atoms: &Atoms, nl: &NeighborList, bx: &SimBox) -> Vec<f64> {
+        let envs = build_environments(atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
+        (0..atoms.nlocal).map(|i| self.forward_atom(atoms.typ[i], &envs[i]).energy).collect()
+    }
+
+    /// Energy, forces, and virial via the full analytic backward pass.
+    ///
+    /// Forces are accumulated into `forces` (length = atoms.len(), ghosts
+    /// included — ghost forces must be reverse-communicated by the caller in
+    /// distributed runs, "Newton's law on").
+    pub fn energy_forces(
+        &self,
+        atoms: &Atoms,
+        nl: &NeighborList,
+        bx: &SimBox,
+        forces: &mut [Vec3],
+    ) -> PotentialOutput {
+        assert!(forces.len() >= atoms.len());
+        let m1 = self.config.m1();
+        let m2 = self.config.m2;
+        let inv_nm = 1.0 / self.config.nmax as f64;
+        let envs = build_environments(atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
+
+        let mut total_e = 0.0;
+        let mut virial = 0.0;
+        let mut dt = vec![0.0; m1 * 4];
+        for i in 0..atoms.nlocal {
+            let env = &envs[i];
+            let fwd = self.forward_atom(atoms.typ[i], env);
+            total_e += fwd.energy;
+
+            // ∂E/∂T: dT[a][c] = Σ_b A[a][b]·T₂[b][c]; rows b < M₂ gain
+            // Σ_a A[a][b]·T[a][c] from the T₂ factor.
+            dt.iter_mut().for_each(|x| *x = 0.0);
+            for a in 0..m1 {
+                for b in 0..m2 {
+                    let aab = fwd.de_dd[a * m2 + b];
+                    for c in 0..4 {
+                        dt[a * 4 + c] += aab * fwd.t[b * 4 + c];
+                        dt[b * 4 + c] += aab * fwd.t[a * 4 + c];
+                    }
+                }
+            }
+
+            // Per-neighbour chain rule.
+            for (k, e) in env.entries.iter().enumerate() {
+                // ∂E/∂g_k and ∂E/∂R̃_k.
+                let coords = e.coords();
+                let mut de_ds = 0.0;
+                let mut de_drt = [0.0; 4];
+                for m in 0..m1 {
+                    let mut de_dg = 0.0;
+                    for c in 0..4 {
+                        de_dg += dt[m * 4 + c] * coords[c];
+                        de_drt[c] += dt[m * 4 + c] * fwd.g[k * m1 + m];
+                    }
+                    de_ds += de_dg * inv_nm * fwd.dg_ds[k * m1 + m];
+                }
+                for v in &mut de_drt {
+                    *v *= inv_nm;
+                }
+                // ∂E/∂d through the generalized coordinates and through s.
+                let grads = e.coord_grads();
+                let inv_r = 1.0 / e.r;
+                let dsdd = [
+                    e.ds_dr * e.disp.x * inv_r,
+                    e.ds_dr * e.disp.y * inv_r,
+                    e.ds_dr * e.disp.z * inv_r,
+                ];
+                let mut de_dd = Vec3::ZERO;
+                for axis in 0..3 {
+                    let mut v = de_ds * dsdd[axis];
+                    for c in 0..4 {
+                        v += de_drt[c] * grads[c][axis];
+                    }
+                    de_dd[axis] = v;
+                }
+                // d = r_j − r_i: force on j is −∂E/∂d, reaction on i is +.
+                let j = e.j as usize;
+                forces[j] -= de_dd;
+                forces[i] += de_dd;
+                virial += de_dd.dot(e.disp);
+            }
+        }
+        PotentialOutput { energy: total_e, virial: -virial }
+    }
+}
+
+/// [`Potential`] adapter so a Deep Potential model plugs into `minimd`'s
+/// simulation driver exactly like an analytic force field.
+impl Potential for DeepPotModel {
+    fn compute(&self, atoms: &mut Atoms, nl: &NeighborList, bx: &SimBox) -> PotentialOutput {
+        let mut forces = std::mem::take(&mut atoms.force);
+        let out = self.energy_forces(atoms, nl, bx, &mut forces);
+        atoms.force = forces;
+        out
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.config.rcut
+    }
+
+    fn name(&self) -> &'static str {
+        "deep-potential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimd::atoms::{copper_species, water_species};
+    use minimd::lattice::{fcc_copper, water_box};
+    use minimd::neighbor::ListKind;
+
+    fn tiny_cu_model() -> DeepPotModel {
+        DeepPotModel::new(DeepPotConfig::tiny(1, 5.0))
+    }
+
+    fn cluster(positions: &[[f64; 3]], types: &[u32], water: bool) -> (SimBox, Atoms) {
+        let bx = SimBox::cubic(60.0);
+        let species = if water { water_species() } else { copper_species() };
+        let mut atoms = Atoms::new(species);
+        for (k, (p, &t)) in positions.iter().zip(types).enumerate() {
+            atoms.push_local(k as u64 + 1, t, Vec3::new(p[0] + 30.0, p[1] + 30.0, p[2] + 30.0), Vec3::ZERO);
+        }
+        (bx, atoms)
+    }
+
+    fn eval(model: &DeepPotModel, bx: &SimBox, atoms: &mut Atoms) -> (f64, Vec<Vec3>) {
+        let mut nl = NeighborList::new(model.config.rcut, 0.5, ListKind::Full);
+        nl.build(atoms, bx);
+        let mut forces = vec![Vec3::ZERO; atoms.len()];
+        let out = model.energy_forces(atoms, &nl, bx, &mut forces);
+        (out.energy, forces)
+    }
+
+    #[test]
+    fn forces_match_finite_difference() {
+        let model = tiny_cu_model();
+        let (bx, mut atoms) =
+            cluster(&[[0.0, 0.0, 0.0], [2.2, 0.3, -0.4], [-0.8, 2.0, 1.1], [1.0, -1.7, 2.0]], &[0; 4], false);
+        let (_, forces) = eval(&model, &bx, &mut atoms);
+        let h = 1e-6;
+        let mut nl = NeighborList::new(model.config.rcut, 0.5, ListKind::Full);
+        for i in 0..atoms.nlocal {
+            for axis in 0..3 {
+                let orig = atoms.pos[i][axis];
+                atoms.pos[i][axis] = orig + h;
+                nl.build(&atoms, &bx);
+                let ep = model.energy(&atoms, &nl, &bx);
+                atoms.pos[i][axis] = orig - h;
+                nl.build(&atoms, &bx);
+                let em = model.energy(&atoms, &nl, &bx);
+                atoms.pos[i][axis] = orig;
+                let fd = -(ep - em) / (2.0 * h);
+                assert!(
+                    (fd - forces[i][axis]).abs() < 1e-6,
+                    "atom {i} axis {axis}: fd={fd} an={}",
+                    forces[i][axis]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_translation_invariant() {
+        let model = tiny_cu_model();
+        let pos = [[0.0, 0.0, 0.0], [2.0, 0.5, 0.0], [0.3, 1.9, -1.0]];
+        let (bx, mut a1) = cluster(&pos, &[0; 3], false);
+        let (e1, _) = eval(&model, &bx, &mut a1);
+        let shifted: Vec<[f64; 3]> =
+            pos.iter().map(|p| [p[0] + 3.3, p[1] - 2.1, p[2] + 0.7]).collect();
+        let (_, mut a2) = cluster(&shifted, &[0; 3], false);
+        let (e2, _) = eval(&model, &bx, &mut a2);
+        assert!((e1 - e2).abs() < 1e-10, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn energy_is_rotation_invariant() {
+        let model = tiny_cu_model();
+        let pos = [[0.0, 0.0, 0.0], [2.0, 0.5, 0.0], [0.3, 1.9, -1.0], [-1.2, 0.4, 1.6]];
+        let (bx, mut a1) = cluster(&pos, &[0; 4], false);
+        let (e1, _) = eval(&model, &bx, &mut a1);
+        // Rotate 40° about z then 25° about x.
+        let (c1, s1) = (40.0f64.to_radians().cos(), 40.0f64.to_radians().sin());
+        let (c2, s2) = (25.0f64.to_radians().cos(), 25.0f64.to_radians().sin());
+        let rot = |p: &[f64; 3]| {
+            let (x, y, z) = (p[0], p[1], p[2]);
+            let (x1, y1, z1) = (c1 * x - s1 * y, s1 * x + c1 * y, z);
+            [x1, c2 * y1 - s2 * z1, s2 * y1 + c2 * z1]
+        };
+        let rotated: Vec<[f64; 3]> = pos.iter().map(rot).collect();
+        let (_, mut a2) = cluster(&rotated, &[0; 4], false);
+        let (e2, _) = eval(&model, &bx, &mut a2);
+        assert!((e1 - e2).abs() < 1e-9, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn energy_is_permutation_invariant() {
+        let model = tiny_cu_model();
+        let pos = [[0.0, 0.0, 0.0], [2.0, 0.5, 0.0], [0.3, 1.9, -1.0]];
+        let (bx, mut a1) = cluster(&pos, &[0; 3], false);
+        let (e1, _) = eval(&model, &bx, &mut a1);
+        let permuted = [pos[2], pos[0], pos[1]];
+        let (_, mut a2) = cluster(&permuted, &[0; 3], false);
+        let (e2, _) = eval(&model, &bx, &mut a2);
+        assert!((e1 - e2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn net_force_is_zero() {
+        let model = tiny_cu_model();
+        let (bx, mut atoms) =
+            cluster(&[[0.0, 0.0, 0.0], [2.2, 0.3, -0.4], [-0.8, 2.0, 1.1]], &[0; 3], false);
+        let (_, forces) = eval(&model, &bx, &mut atoms);
+        let net = forces.iter().fold(Vec3::ZERO, |a, &f| a + f);
+        assert!(net.norm() < 1e-10, "net force {net:?}");
+    }
+
+    #[test]
+    fn multitype_water_model_runs_and_conserves_momentum() {
+        let model = DeepPotModel::new(DeepPotConfig::tiny(2, 5.0));
+        let (bx, mut atoms) = water_box(4, 4, 4, 17);
+        let (e, forces) = eval(&model, &bx, &mut atoms);
+        assert!(e.is_finite());
+        let net = forces.iter().fold(Vec3::ZERO, |a, &f| a + f);
+        assert!(net.norm() < 1e-8, "net force {net:?}");
+    }
+
+    #[test]
+    fn model_json_round_trip_is_exact() {
+        let model = tiny_cu_model();
+        let back = DeepPotModel::from_json(&model.to_json()).unwrap();
+        let (bx, mut atoms) = cluster(&[[0.0, 0.0, 0.0], [2.0, 0.4, 0.2]], &[0; 2], false);
+        let (e1, _) = eval(&model, &bx, &mut atoms);
+        let (e2, _) = eval(&back, &bx, &mut atoms);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn compressed_model_matches_exact_model() {
+        // DP-Compress (ref [42]): tabulated embeddings must reproduce the
+        // exact MLP evaluation to high accuracy, for energies AND forces.
+        let mut model = tiny_cu_model();
+        let (bx, mut atoms) = cluster(
+            &[[0.0, 0.0, 0.0], [2.2, 0.3, -0.4], [-0.8, 2.0, 1.1], [1.0, -1.7, 2.0]],
+            &[0; 4],
+            false,
+        );
+        let (e_exact, f_exact) = eval(&model, &bx, &mut atoms);
+        model.enable_compression(256);
+        let (e_tab, f_tab) = eval(&model, &bx, &mut atoms);
+        assert!((e_exact - e_tab).abs() < 1e-6, "{e_exact} vs {e_tab}");
+        for i in 0..atoms.nlocal {
+            assert!((f_exact[i] - f_tab[i]).norm() < 1e-4, "atom {i}");
+        }
+        model.disable_compression();
+        let (e_back, _) = eval(&model, &bx, &mut atoms);
+        assert_eq!(e_back, e_exact, "disable restores the exact path");
+    }
+
+    #[test]
+    fn potential_trait_adapter_matches_direct_call() {
+        let model = tiny_cu_model();
+        let (bx, mut atoms) = fcc_copper(3, 3, 3);
+        let mut nl = NeighborList::new(model.config.rcut, 1.0, ListKind::Full);
+        nl.build(&atoms, &bx);
+        atoms.zero_forces();
+        let via_trait = model.compute(&mut atoms, &nl, &bx);
+        let mut forces = vec![Vec3::ZERO; atoms.len()];
+        let direct = model.energy_forces(&atoms, &nl, &bx, &mut forces);
+        assert_eq!(via_trait.energy, direct.energy);
+        for i in 0..atoms.nlocal {
+            assert_eq!(atoms.force[i], forces[i]);
+        }
+    }
+}

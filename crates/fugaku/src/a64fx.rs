@@ -1,0 +1,132 @@
+//! The A64FX SoC model: CMG layout, FLOP rates, memory system, and the
+//! ring-bus network-on-chip connecting the four CMGs and the TofuD
+//! controller (paper Fig. 2a).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of Core Memory Groups (NUMA domains) per chip.
+pub const CMGS: usize = 4;
+/// Compute cores per CMG (one more core per CMG is reserved for OS/IO).
+pub const CORES_PER_CMG: usize = 12;
+/// Compute cores per chip.
+pub const COMPUTE_CORES: usize = CMGS * CORES_PER_CMG;
+
+/// A64FX chip parameters (all rates in per-nanosecond units).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct A64fx {
+    /// Core clock, GHz (= cycles per ns). Fugaku runs at 2.2 GHz in boost.
+    pub clock_ghz: f64,
+    /// Double-precision FLOPs per core per cycle (2 pipes × 8 lanes × FMA).
+    pub dp_flops_per_cycle: f64,
+    /// HBM2 bandwidth per CMG, bytes/ns (256 GB/s = 256 B/ns).
+    pub hbm_bw_per_cmg: f64,
+    /// Ring-bus (NoC) bandwidth between CMGs, bytes/ns.
+    pub noc_bw: f64,
+    /// Base latency of a cross-CMG cacheline transfer, ns.
+    pub noc_latency_ns: f64,
+    /// Latency of an intra-node synchronization (flag via shared L2/memory), ns.
+    pub sync_latency_ns: f64,
+    /// Achievable fraction of peak GEMM FLOPs for a well-blocked kernel.
+    pub gemm_efficiency: f64,
+}
+
+impl Default for A64fx {
+    fn default() -> Self {
+        A64fx {
+            clock_ghz: 2.2,
+            dp_flops_per_cycle: 32.0,
+            hbm_bw_per_cmg: 256.0,
+            noc_bw: 115.0,
+            noc_latency_ns: 120.0,
+            sync_latency_ns: 800.0,
+            gemm_efficiency: 0.8,
+        }
+    }
+}
+
+impl A64fx {
+    /// Peak double-precision GFLOP/s per core.
+    pub fn dp_gflops_per_core(&self) -> f64 {
+        self.clock_ghz * self.dp_flops_per_cycle
+    }
+
+    /// Peak double-precision TFLOP/s per chip (Fugaku quotes 3.38 TFLOPS at
+    /// 2.2 GHz).
+    pub fn dp_tflops_per_chip(&self) -> f64 {
+        self.dp_gflops_per_core() * COMPUTE_CORES as f64 / 1000.0
+    }
+
+    /// Time for one core to execute `flops` double-precision FLOPs at the
+    /// given efficiency, ns.
+    pub fn compute_time_ns(&self, flops: f64, efficiency: f64) -> f64 {
+        flops / (self.dp_gflops_per_core() * efficiency.max(1e-6))
+    }
+
+    /// Cross-CMG memory copy time for `bytes`, ns: NoC latency + streaming.
+    ///
+    /// `concurrent_streams` models ring-bus sharing: the copies launched by
+    /// several CMGs at once divide the bus.
+    pub fn cross_numa_copy_ns(&self, bytes: usize, concurrent_streams: usize) -> f64 {
+        let share = self.noc_bw / concurrent_streams.max(1) as f64;
+        self.noc_latency_ns + bytes as f64 / share
+    }
+
+    /// Ring-bus hop distance between CMG `a` and the TofuD controller.
+    ///
+    /// CMGs 2 and 3 sit closer to the NIC on the ring (paper §III-A2:
+    /// "NUMA 2 and NUMA 3 situated closer to the NIC"); the extra hops cost
+    /// additional NoC latency for CMGs 0 and 1.
+    pub fn cmg_to_nic_hops(&self, cmg: usize) -> usize {
+        match cmg {
+            2 | 3 => 1,
+            0 | 1 => 2,
+            _ => panic!("A64FX has 4 CMGs, got {cmg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_match_published_spec() {
+        let chip = A64fx::default();
+        // 2.2 GHz × 32 flops × 48 cores = 3.379 TFLOPS (Fugaku spec: 3.38).
+        assert!((chip.dp_tflops_per_chip() - 3.3792).abs() < 1e-9);
+        assert!((chip.dp_gflops_per_core() - 70.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_efficiency() {
+        let chip = A64fx::default();
+        let fast = chip.compute_time_ns(1.0e6, 0.8);
+        let slow = chip.compute_time_ns(1.0e6, 0.4);
+        assert!((slow / fast - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_numa_copy_has_latency_floor_and_bandwidth_slope() {
+        let chip = A64fx::default();
+        let tiny = chip.cross_numa_copy_ns(64, 1);
+        assert!(tiny >= chip.noc_latency_ns);
+        let big1 = chip.cross_numa_copy_ns(1 << 20, 1);
+        let big4 = chip.cross_numa_copy_ns(1 << 20, 4);
+        assert!(big4 > big1, "bus sharing must slow concurrent streams");
+        // 1 MiB at 115 B/ns ≈ 9118 ns dominated by bandwidth.
+        assert!((big1 - chip.noc_latency_ns - (1 << 20) as f64 / 115.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nic_proximity_matches_paper() {
+        let chip = A64fx::default();
+        assert!(chip.cmg_to_nic_hops(2) < chip.cmg_to_nic_hops(0));
+        assert_eq!(chip.cmg_to_nic_hops(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 CMGs")]
+    fn bad_cmg_rejected() {
+        A64fx::default().cmg_to_nic_hops(4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Collective-operation time models on the TofuD torus.
+//!
+//! LAMMPS performs a global allreduce of thermodynamic scalars (potential
+//! energy, virial, kinetic energy) every step, and a barrier at every
+//! exchange. At 12,000 nodes these collectives are a visible slice of a
+//! sub-millisecond step, so the scaling model charges them explicitly.
+//!
+//! Models are the classic ones: recursive doubling for small-payload
+//! allreduce (`⌈log₂ P⌉` rounds of one message each) and a tree barrier.
+//! Tofu's hardware barrier support makes the constants small; the software
+//! path through MPI is modelled by the `CommApi` costs.
+
+use crate::machine::MachineConfig;
+use crate::tofu::Torus3d;
+use crate::utofu::{ApiCosts, CommApi};
+
+/// Time for an allreduce of `bytes` across all nodes of `torus`, ns.
+///
+/// Recursive doubling: `ceil(log2 P)` rounds; each round is one
+/// send+receive of the full payload between nodes that are (on average)
+/// a quarter of the torus apart in hop distance at the top rounds.
+pub fn allreduce_ns(machine: &MachineConfig, torus: &Torus3d, bytes: usize, api: CommApi) -> u64 {
+    let p = torus.len().max(1);
+    if p == 1 {
+        return 0;
+    }
+    let rounds = (usize::BITS - (p - 1).leading_zeros()) as u64;
+    let costs = ApiCosts::of(api);
+    // Mean hop distance grows with the doubling distance; use the average
+    // over rounds ≈ a quarter of the torus diameter.
+    let diameter: usize = torus.dims.iter().map(|&d| d / 2).sum();
+    let mean_hops = (diameter / 4).max(1);
+    let per_round = costs.send_overhead_ns
+        + costs.recv_overhead_ns
+        + machine.tni.engine_overhead_ns
+        + machine.tofu.wire_time_ns(mean_hops, bytes) as u64;
+    rounds * per_round
+}
+
+/// Time for a full-system barrier, ns (an allreduce of zero payload; Tofu's
+/// hardware-assisted barrier halves the software cost).
+pub fn barrier_ns(machine: &MachineConfig, torus: &Torus3d, api: CommApi) -> u64 {
+    allreduce_ns(machine, torus, 0, api) / 2
+}
+
+/// The per-step thermo allreduce LAMMPS issues: a handful of f64 scalars
+/// (energy, virial tensor, kinetic energy ⇒ ~96 bytes).
+pub fn thermo_allreduce_ns(machine: &MachineConfig, torus: &Torus3d, api: CommApi) -> u64 {
+    allreduce_ns(machine, torus, 96, api)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_free() {
+        let m = MachineConfig::default();
+        let t = Torus3d::new([1, 1, 1]);
+        assert_eq!(allreduce_ns(&m, &t, 1024, CommApi::Mpi), 0);
+        assert_eq!(barrier_ns(&m, &t, CommApi::Mpi), 0);
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let m = MachineConfig::default();
+        let t96 = Torus3d::new([4, 6, 4]);
+        let t12000 = Torus3d::new([20, 30, 20]);
+        let a = allreduce_ns(&m, &t96, 96, CommApi::Utofu);
+        let b = allreduce_ns(&m, &t12000, 96, CommApi::Utofu);
+        assert!(b > a);
+        // 96 → 12,000 nodes is 125×, but log2 only grows 7 → 14 rounds;
+        // the hop term grows too, so allow up to ~6× total.
+        assert!((b as f64) < 6.0 * a as f64, "{b} vs {a}");
+    }
+
+    #[test]
+    fn paper_scale_thermo_allreduce_is_tens_of_microseconds() {
+        // At 12,000 nodes, the per-step collective must stay well under the
+        // ~600 µs optimized step or the headline would be impossible.
+        let m = MachineConfig::default();
+        let t = Torus3d::new([20, 30, 20]);
+        let ns = thermo_allreduce_ns(&m, &t, CommApi::Utofu);
+        assert!(ns > 5_000 && ns < 100_000, "thermo allreduce {ns} ns");
+    }
+
+    #[test]
+    fn utofu_collectives_beat_mpi() {
+        let m = MachineConfig::default();
+        let t = Torus3d::new([8, 12, 8]);
+        assert!(
+            thermo_allreduce_ns(&m, &t, CommApi::Utofu) < thermo_allreduce_ns(&m, &t, CommApi::Mpi)
+        );
+        assert!(barrier_ns(&m, &t, CommApi::Utofu) <= allreduce_ns(&m, &t, 0, CommApi::Utofu));
+    }
+}

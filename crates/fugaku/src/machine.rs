@@ -1,0 +1,102 @@
+//! The assembled machine configuration used by every experiment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::a64fx::A64fx;
+use crate::tni::TniParams;
+use crate::tofu::{TofuParams, Torus3d};
+
+/// Everything the communication and scaling models need to know about the
+/// machine, with Fugaku defaults.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// The SoC model.
+    pub chip: A64fx,
+    /// Interconnect link/latency parameters.
+    pub tofu: TofuParams,
+    /// RDMA engine software/DMA costs.
+    pub tni: TniParams,
+    /// NIC cache capacity (entries) and miss penalty (ns).
+    pub nic_cache_entries: usize,
+    /// NIC cache refill penalty, ns.
+    pub nic_cache_miss_ns: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            chip: A64fx::default(),
+            tofu: TofuParams::default(),
+            tni: TniParams::default(),
+            nic_cache_entries: 80,
+            nic_cache_miss_ns: 1000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A Frontier-flavoured node (paper §V: "Infinity Fabric + 4x
+    /// Slingshots"): 4 NICs at 25 GB/s, a fatter intra-node fabric, higher
+    /// per-message latency than TofuD. Used by the portability study.
+    pub fn frontier_like() -> Self {
+        let mut m = MachineConfig::default();
+        m.tofu.tnis_per_node = 4;
+        m.tofu.link_bw = 25.0;
+        m.tofu.base_latency_ns = 1_500.0;
+        m.tofu.hop_latency_ns = 150.0;
+        m.chip.noc_bw = 300.0; // Infinity-Fabric-class GPU P2P
+        m.chip.noc_latency_ns = 500.0;
+        m.chip.sync_latency_ns = 1_500.0;
+        m
+    }
+
+    /// A new-Sunway-flavoured node (paper §V: "NoC + 2x RDMA NICs").
+    pub fn sunway_like() -> Self {
+        let mut m = MachineConfig::default();
+        m.tofu.tnis_per_node = 2;
+        m.tofu.link_bw = 14.0;
+        m.tofu.base_latency_ns = 900.0;
+        m.chip.noc_bw = 90.0;
+        m.chip.sync_latency_ns = 1_000.0;
+        m
+    }
+
+    /// A logical 3-D torus of `dims` nodes on this machine.
+    pub fn torus(&self, dims: [usize; 3]) -> Torus3d {
+        Torus3d::new(dims)
+    }
+
+    /// The node topologies used in the paper's strong-scaling runs
+    /// (768 → 12,000 nodes, §IV-E).
+    pub fn paper_scaling_topologies() -> Vec<[usize; 3]> {
+        vec![[8, 12, 8], [12, 15, 12], [16, 18, 16], [16, 24, 16], [20, 30, 20]]
+    }
+
+    /// The 96-node topology used by the step-by-step experiments (Figs 7/9).
+    pub fn paper_96_node_topology() -> [usize; 3] {
+        [4, 6, 4]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topologies_have_the_right_node_counts() {
+        let sizes: Vec<usize> =
+            MachineConfig::paper_scaling_topologies().iter().map(|d| d.iter().product()).collect();
+        assert_eq!(sizes, vec![768, 2160, 4608, 6144, 12000]);
+        let n96: usize = MachineConfig::paper_96_node_topology().iter().product();
+        assert_eq!(n96, 96);
+    }
+
+    #[test]
+    fn default_round_trips_through_serde() {
+        let m = MachineConfig::default();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: MachineConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.nic_cache_entries, m.nic_cache_entries);
+        assert!((back.tofu.link_bw - m.tofu.link_bw).abs() < 1e-12);
+    }
+}

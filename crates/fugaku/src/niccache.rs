@@ -1,0 +1,138 @@
+//! NIC hardware-cache model: connection state and registered memory regions.
+//!
+//! RDMA NICs keep connection descriptors and memory-region translations in a
+//! small on-chip cache. When an application registers one buffer pair per
+//! neighbour (the non-memory-pool baseline), the working set overflows the
+//! cache as the neighbour count grows; every message then pays a main-memory
+//! refill. The paper's memory pool registers a single large region, keeping
+//! the working set at one entry — communication time stays linear in message
+//! count (Fig. 8).
+
+use std::collections::HashMap;
+
+/// An LRU cache of NIC entries (connections or memory regions).
+#[derive(Clone, Debug)]
+pub struct NicCache {
+    /// Capacity in entries.
+    pub capacity: usize,
+    /// Extra latency of a miss (main-memory refill), ns.
+    pub miss_penalty_ns: u64,
+    // entry -> last-use stamp
+    stamps: HashMap<u64, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl NicCache {
+    /// A cache with `capacity` entries and the given refill penalty.
+    pub fn new(capacity: usize, miss_penalty_ns: u64) -> Self {
+        assert!(capacity > 0);
+        NicCache {
+            capacity,
+            miss_penalty_ns,
+            stamps: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fugaku-flavoured defaults: enough on-chip entries for a few dozen
+    /// registration pairs, ~1 µs refill from main memory. Capacity 80 puts
+    /// the overflow knee just past 40 neighbours when each neighbour
+    /// registers a send + receive buffer — Fig. 8's non-pool curve departs
+    /// at 44, the first sweep point beyond that.
+    pub fn fugaku_default() -> Self {
+        NicCache::new(80, 1000)
+    }
+
+    /// Touch `entry`; returns the added latency (0 on hit, the refill
+    /// penalty on miss) and updates LRU state.
+    pub fn access(&mut self, entry: u64) -> u64 {
+        self.clock += 1;
+        let hit = self.stamps.contains_key(&entry);
+        self.stamps.insert(entry, self.clock);
+        if hit {
+            self.hits += 1;
+            0
+        } else {
+            self.misses += 1;
+            if self.stamps.len() > self.capacity {
+                // Evict the least recently used entry.
+                if let Some((&lru, _)) = self.stamps.iter().min_by_key(|(_, &stamp)| stamp) {
+                    self.stamps.remove(&lru);
+                }
+            }
+            self.miss_penalty_ns
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Forget everything (e.g. between experiment repetitions).
+    pub fn reset(&mut self) {
+        self.stamps.clear();
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = NicCache::new(8, 1000);
+        for e in 0..8u64 {
+            assert_eq!(c.access(e), 1000, "cold miss");
+        }
+        for _ in 0..10 {
+            for e in 0..8u64 {
+                assert_eq!(c.access(e), 0, "warm hit");
+            }
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(misses, 8);
+        assert_eq!(hits, 80);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_under_round_robin() {
+        let mut c = NicCache::new(8, 1000);
+        // Cyclic access to 9 entries with LRU capacity 8: every access
+        // misses (the classic LRU worst case).
+        for _ in 0..5 {
+            for e in 0..9u64 {
+                c.access(e);
+            }
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(hits, 0, "LRU thrashes on cyclic overflow");
+        assert_eq!(misses, 45);
+    }
+
+    #[test]
+    fn single_entry_pool_never_misses_after_first() {
+        let mut c = NicCache::fugaku_default();
+        let mut extra = 0;
+        for _ in 0..1000 {
+            extra += c.access(42);
+        }
+        assert_eq!(extra, c.miss_penalty_ns, "only the cold miss pays");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = NicCache::new(4, 100);
+        c.access(1);
+        c.reset();
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.access(1), 100, "cold again after reset");
+    }
+}

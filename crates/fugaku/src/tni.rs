@@ -1,0 +1,68 @@
+//! Tofu Network Interfaces — the six RDMA engines of a node.
+//!
+//! Each TNI sends/receives one packet stream at a time; a node reaches full
+//! injection bandwidth only when all six are driven concurrently. The
+//! hardware is not thread-safe within an MPI rank (paper §III-A2), so the
+//! paper binds one communication thread per TNI — 6 threads when one rank
+//! leads, 24 when all four ranks lead (6 TNI resources shared node-wide, but
+//! copy work spread over more threads).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of RDMA engines per node.
+pub const TNIS_PER_NODE: usize = 6;
+
+/// How TNIs are driven by software.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TniDriving {
+    /// One communication thread drives all TNIs round-robin, serially (the
+    /// `sg-` single-thread configurations in Fig. 7).
+    SingleThread,
+    /// One dedicated thread per TNI: all engines pump concurrently.
+    ThreadPerTni,
+}
+
+/// Static TNI send-side costs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TniParams {
+    /// CPU time to post one descriptor to a TNI, ns.
+    pub post_overhead_ns: u64,
+    /// TNI occupancy per message beyond payload streaming (DMA setup), ns.
+    pub engine_overhead_ns: u64,
+}
+
+impl Default for TniParams {
+    fn default() -> Self {
+        TniParams { post_overhead_ns: 100, engine_overhead_ns: 150 }
+    }
+}
+
+/// Round-robin assignment of `n_messages` onto TNIs, returning for each
+/// message the engine index — the policy the paper uses ("the messages to
+/// neighbors are sent in turn on these TNIs").
+pub fn round_robin_assignment(n_messages: usize, n_tnis: usize) -> Vec<usize> {
+    assert!(n_tnis > 0);
+    (0..n_messages).map(|m| m % n_tnis).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances() {
+        let a = round_robin_assignment(13, 6);
+        let mut counts = [0usize; 6];
+        for &t in &a {
+            counts[t] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 13);
+        assert!(counts.iter().all(|&c| c == 2 || c == 3));
+    }
+
+    #[test]
+    fn defaults_are_sub_microsecond() {
+        let p = TniParams::default();
+        assert!(p.post_overhead_ns < 1000 && p.engine_overhead_ns < 1000);
+    }
+}

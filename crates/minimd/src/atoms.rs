@@ -1,0 +1,206 @@
+//! Structure-of-arrays atom storage.
+//!
+//! LAMMPS stores per-atom data in parallel arrays with local atoms first and
+//! ghost atoms appended after index `nlocal` — the layout the paper's Fig. 5
+//! reorganizes for the node-based scheme. We keep the same convention:
+//! indices `0..nlocal` are owned atoms, `nlocal..nlocal+nghost` are ghosts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+
+/// Per-species metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Species {
+    /// Display name ("Cu", "O", "H", ...).
+    pub name: String,
+    /// Mass in g/mol.
+    pub mass: f64,
+}
+
+/// Structure-of-arrays atom container with the LAMMPS local/ghost split.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Atoms {
+    /// Global atom ids (stable across migrations).
+    pub id: Vec<u64>,
+    /// Species index into [`Atoms::species`].
+    pub typ: Vec<u32>,
+    /// Positions, Å.
+    pub pos: Vec<Vec3>,
+    /// Velocities, Å/ps.
+    pub vel: Vec<Vec3>,
+    /// Forces, eV/Å.
+    pub force: Vec<Vec3>,
+    /// Number of locally owned atoms; everything past this index is a ghost.
+    pub nlocal: usize,
+    /// Species table.
+    pub species: Vec<Species>,
+}
+
+impl Atoms {
+    /// An empty container with the given species table.
+    pub fn new(species: Vec<Species>) -> Self {
+        Atoms { species, ..Default::default() }
+    }
+
+    /// Total stored atoms (local + ghost).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// `true` when no atoms are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Number of ghost atoms.
+    #[inline]
+    pub fn nghost(&self) -> usize {
+        self.len() - self.nlocal
+    }
+
+    /// Mass of atom `i` from its species.
+    #[inline]
+    pub fn mass(&self, i: usize) -> f64 {
+        self.species[self.typ[i] as usize].mass
+    }
+
+    /// Append a local atom (must be called before any ghosts exist).
+    ///
+    /// # Panics
+    /// If ghosts are already present (locals must stay contiguous) or the
+    /// species index is out of range.
+    pub fn push_local(&mut self, id: u64, typ: u32, pos: Vec3, vel: Vec3) {
+        assert_eq!(self.nghost(), 0, "cannot add locals after ghosts");
+        assert!((typ as usize) < self.species.len(), "unknown species {typ}");
+        self.id.push(id);
+        self.typ.push(typ);
+        self.pos.push(pos);
+        self.vel.push(vel);
+        self.force.push(Vec3::ZERO);
+        self.nlocal += 1;
+    }
+
+    /// Append a ghost atom (position-image of an atom owned elsewhere).
+    ///
+    /// # Panics
+    /// If the species index is out of range.
+    pub fn push_ghost(&mut self, id: u64, typ: u32, pos: Vec3) {
+        assert!((typ as usize) < self.species.len(), "unknown species {typ}");
+        self.id.push(id);
+        self.typ.push(typ);
+        self.pos.push(pos);
+        self.vel.push(Vec3::ZERO);
+        self.force.push(Vec3::ZERO);
+    }
+
+    /// Drop all ghost atoms (before a rebuild/exchange).
+    pub fn clear_ghosts(&mut self) {
+        self.id.truncate(self.nlocal);
+        self.typ.truncate(self.nlocal);
+        self.pos.truncate(self.nlocal);
+        self.vel.truncate(self.nlocal);
+        self.force.truncate(self.nlocal);
+    }
+
+    /// Zero the force array (start of a step).
+    pub fn zero_forces(&mut self) {
+        self.force.fill(Vec3::ZERO);
+    }
+
+    /// Sum of all local forces (≈ 0 for translation-invariant potentials).
+    pub fn net_force(&self) -> Vec3 {
+        self.force[..self.nlocal].iter().fold(Vec3::ZERO, |acc, &f| acc + f)
+    }
+
+    /// Internal consistency check: array lengths agree, `nlocal ≤ len`.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.pos.len();
+        if self.id.len() != n || self.typ.len() != n || self.vel.len() != n || self.force.len() != n {
+            return Err(format!(
+                "array length mismatch: id={} typ={} pos={} vel={} force={}",
+                self.id.len(),
+                self.typ.len(),
+                n,
+                self.vel.len(),
+                self.force.len()
+            ));
+        }
+        if self.nlocal > n {
+            return Err(format!("nlocal {} exceeds atom count {n}", self.nlocal));
+        }
+        if let Some(&bad) = self.typ.iter().find(|&&t| t as usize >= self.species.len()) {
+            return Err(format!("species index {bad} out of range"));
+        }
+        Ok(())
+    }
+}
+
+/// Species table for elemental copper.
+pub fn copper_species() -> Vec<Species> {
+    vec![Species { name: "Cu".into(), mass: crate::units::MASS_CU }]
+}
+
+/// Species table for water: type 0 = O, type 1 = H (paper convention:
+/// neighbour budgets are listed per O and per H separately).
+pub fn water_species() -> Vec<Species> {
+    vec![
+        Species { name: "O".into(), mass: crate::units::MASS_O },
+        Species { name: "H".into(), mass: crate::units::MASS_H },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_ghost_partition() {
+        let mut a = Atoms::new(copper_species());
+        a.push_local(1, 0, Vec3::new(0.0, 0.0, 0.0), Vec3::ZERO);
+        a.push_local(2, 0, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+        a.push_ghost(3, 0, Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(a.nlocal, 2);
+        assert_eq!(a.nghost(), 1);
+        assert_eq!(a.len(), 3);
+        a.clear_ghosts();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.nghost(), 0);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "after ghosts")]
+    fn locals_after_ghosts_rejected() {
+        let mut a = Atoms::new(copper_species());
+        a.push_local(1, 0, Vec3::ZERO, Vec3::ZERO);
+        a.push_ghost(2, 0, Vec3::ZERO);
+        a.push_local(3, 0, Vec3::ZERO, Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown species")]
+    fn bad_species_rejected() {
+        let mut a = Atoms::new(copper_species());
+        a.push_local(1, 5, Vec3::ZERO, Vec3::ZERO);
+    }
+
+    #[test]
+    fn mass_lookup() {
+        let mut a = Atoms::new(water_species());
+        a.push_local(1, 0, Vec3::ZERO, Vec3::ZERO);
+        a.push_local(2, 1, Vec3::ZERO, Vec3::ZERO);
+        assert_eq!(a.mass(0), crate::units::MASS_O);
+        assert_eq!(a.mass(1), crate::units::MASS_H);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut a = Atoms::new(copper_species());
+        a.push_local(1, 0, Vec3::ZERO, Vec3::ZERO);
+        a.vel.pop();
+        assert!(a.validate().is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Time integration: velocity-Verlet with optional thermostats, and
+//! Maxwell–Boltzmann velocity initialization.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::atoms::Atoms;
+use crate::simbox::SimBox;
+use crate::units::{temperature, FORCE_TO_ACCEL, KB, MVV_TO_ENERGY};
+use crate::vec3::Vec3;
+
+/// Thermostat applied inside the integrator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Thermostat {
+    /// Pure NVE (no thermostat).
+    None,
+    /// Berendsen weak coupling toward `t_target` with time constant `tau_ps`.
+    Berendsen {
+        /// Target temperature, K.
+        t_target: f64,
+        /// Coupling time constant, ps.
+        tau_ps: f64,
+    },
+    /// Velocity rescale every step (hard thermostat for equilibration).
+    Rescale {
+        /// Target temperature, K.
+        t_target: f64,
+    },
+    /// Langevin dynamics: friction + matched random kicks (fluctuation–
+    /// dissipation), `γ = 1/damp_ps`.
+    Langevin {
+        /// Target temperature, K.
+        t_target: f64,
+        /// Damping time constant, ps.
+        damp_ps: f64,
+        /// RNG seed (deterministic trajectories).
+        seed: u64,
+    },
+}
+
+/// Velocity-Verlet integrator.
+#[derive(Clone, Debug)]
+pub struct VelocityVerlet {
+    /// Time-step, ps.
+    pub dt: f64,
+    /// Thermostat mode.
+    pub thermostat: Thermostat,
+    /// Steps taken (streams the Langevin noise deterministically).
+    step_count: u64,
+}
+
+impl VelocityVerlet {
+    /// An NVE integrator with time-step `dt` picoseconds.
+    pub fn new(dt: f64) -> Self {
+        assert!(dt > 0.0);
+        VelocityVerlet { dt, thermostat: Thermostat::None, step_count: 0 }
+    }
+
+    /// First half-kick plus drift: `v += a·dt/2; x += v·dt` (wrapping into
+    /// the box). Call before recomputing forces.
+    pub fn first_half(&self, atoms: &mut Atoms, bx: &SimBox) {
+        let dt = self.dt;
+        for i in 0..atoms.nlocal {
+            let inv_m = FORCE_TO_ACCEL / atoms.mass(i);
+            let a = atoms.force[i] * inv_m;
+            atoms.vel[i] += a * (0.5 * dt);
+            let p = atoms.pos[i] + atoms.vel[i] * dt;
+            atoms.pos[i] = bx.wrap(p);
+        }
+    }
+
+    /// First half-kick plus drift *without* wrapping — the distributed
+    /// frame keeps coordinates unwrapped between exchanges (LAMMPS remaps
+    /// only at exchange time; wrapping mid-interval would teleport
+    /// boundary-crossing atoms across the periodic box and break the
+    /// per-rank direct-distance frame).
+    pub fn first_half_unwrapped(&self, atoms: &mut Atoms) {
+        let dt = self.dt;
+        for i in 0..atoms.nlocal {
+            let inv_m = FORCE_TO_ACCEL / atoms.mass(i);
+            let a = atoms.force[i] * inv_m;
+            atoms.vel[i] += a * (0.5 * dt);
+            atoms.pos[i] += atoms.vel[i] * dt;
+        }
+    }
+
+    /// Second half-kick after the new forces: `v += a·dt/2`, then thermostat.
+    pub fn second_half(&mut self, atoms: &mut Atoms) {
+        self.step_count += 1;
+        let dt = self.dt;
+        for i in 0..atoms.nlocal {
+            let inv_m = FORCE_TO_ACCEL / atoms.mass(i);
+            atoms.vel[i] += atoms.force[i] * inv_m * (0.5 * dt);
+        }
+        match self.thermostat {
+            Thermostat::None => {}
+            Thermostat::Berendsen { t_target, tau_ps } => {
+                let t = current_temperature(atoms);
+                if t > 1e-12 {
+                    let lambda = (1.0 + dt / tau_ps * (t_target / t - 1.0)).max(0.0).sqrt();
+                    for v in &mut atoms.vel[..atoms.nlocal] {
+                        *v = *v * lambda;
+                    }
+                }
+            }
+            Thermostat::Rescale { t_target } => {
+                let t = current_temperature(atoms);
+                if t > 1e-12 {
+                    let lambda = (t_target / t).sqrt();
+                    for v in &mut atoms.vel[..atoms.nlocal] {
+                        *v = *v * lambda;
+                    }
+                }
+            }
+            Thermostat::Langevin { t_target, damp_ps, seed } => {
+                // BBK-style post-kick: v ← v(1 − γdt) + σ√dt·ξ with
+                // σ² = 2γ kB T / m (metal units fold in MVV_TO_ENERGY).
+                let gamma = 1.0 / damp_ps;
+                let decay = (1.0 - gamma * dt).max(0.0);
+                let mut rng = StdRng::seed_from_u64(seed ^ self.step_count.wrapping_mul(0x9e3779b97f4a7c15));
+                let gauss = |rng: &mut StdRng| -> f64 {
+                    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.random_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                for i in 0..atoms.nlocal {
+                    let m = atoms.mass(i);
+                    let sigma = (2.0 * gamma * KB * t_target / (MVV_TO_ENERGY * m)).sqrt()
+                        * dt.sqrt();
+                    for ax in 0..3 {
+                        atoms.vel[i][ax] = atoms.vel[i][ax] * decay + sigma * gauss(&mut rng);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Total kinetic energy of the local atoms, eV.
+pub fn kinetic_energy(atoms: &Atoms) -> f64 {
+    (0..atoms.nlocal)
+        .map(|i| 0.5 * MVV_TO_ENERGY * atoms.mass(i) * atoms.vel[i].norm2())
+        .sum()
+}
+
+/// Instantaneous temperature (3N degrees of freedom), K.
+pub fn current_temperature(atoms: &Atoms) -> f64 {
+    temperature(kinetic_energy(atoms), 3 * atoms.nlocal)
+}
+
+/// Draw Maxwell–Boltzmann velocities at `t_kelvin`, remove the centre-of-mass
+/// drift, and rescale to hit the target temperature exactly.
+pub fn init_velocities(atoms: &mut Atoms, t_kelvin: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gaussian = move |rng: &mut StdRng| -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    for i in 0..atoms.nlocal {
+        // σ_v = sqrt(kB T / m) in metal units (Å/ps).
+        let sigma = (KB * t_kelvin / (MVV_TO_ENERGY * atoms.mass(i))).sqrt();
+        atoms.vel[i] = Vec3::new(gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng)) * sigma;
+    }
+    remove_com_drift(atoms);
+    // Exact rescale to the target.
+    let t = current_temperature(atoms);
+    if t > 1e-12 && t_kelvin > 0.0 {
+        let lambda = (t_kelvin / t).sqrt();
+        for v in &mut atoms.vel[..atoms.nlocal] {
+            *v = *v * lambda;
+        }
+    }
+}
+
+/// Subtract the mass-weighted mean velocity so total momentum is zero.
+pub fn remove_com_drift(atoms: &mut Atoms) {
+    let mut p = Vec3::ZERO;
+    let mut m_tot = 0.0;
+    for i in 0..atoms.nlocal {
+        let m = atoms.mass(i);
+        p += atoms.vel[i] * m;
+        m_tot += m;
+    }
+    if m_tot > 0.0 {
+        let v_com = p / m_tot;
+        for v in &mut atoms.vel[..atoms.nlocal] {
+            *v -= v_com;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::fcc_copper;
+
+    #[test]
+    fn init_velocities_hits_target_temperature() {
+        let (_, mut atoms) = fcc_copper(3, 3, 3);
+        init_velocities(&mut atoms, 300.0, 42);
+        assert!((current_temperature(&atoms) - 300.0).abs() < 1e-9);
+        // Zero total momentum.
+        let p: Vec3 = (0..atoms.nlocal).fold(Vec3::ZERO, |acc, i| acc + atoms.vel[i] * atoms.mass(i));
+        assert!(p.norm() < 1e-9);
+    }
+
+    #[test]
+    fn free_particle_moves_ballistically() {
+        let bx = SimBox::cubic(100.0);
+        let mut atoms = Atoms::new(crate::atoms::copper_species());
+        atoms.push_local(1, 0, Vec3::new(10.0, 10.0, 10.0), Vec3::new(2.0, 0.0, -1.0));
+        let mut vv = VelocityVerlet::new(0.001);
+        for _ in 0..1000 {
+            vv.first_half(&mut atoms, &bx);
+            // No forces: second half-kick with zero force.
+            vv.second_half(&mut atoms);
+        }
+        // After 1 ps at (2, 0, -1) Å/ps: displacement (2, 0, -1) Å.
+        assert!((atoms.pos[0].x - 12.0).abs() < 1e-9);
+        assert!((atoms.pos[0].z - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescale_thermostat_clamps_temperature() {
+        let (bx, mut atoms) = fcc_copper(3, 3, 3);
+        init_velocities(&mut atoms, 600.0, 1);
+        let mut vv = VelocityVerlet::new(0.001);
+        vv.thermostat = Thermostat::Rescale { t_target: 300.0 };
+        vv.first_half(&mut atoms, &bx);
+        vv.second_half(&mut atoms);
+        assert!((current_temperature(&atoms) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn langevin_thermalizes_free_particles() {
+        // Pure Langevin on force-free particles: velocities relax to the
+        // Maxwell-Boltzmann distribution at the target temperature.
+        let bx = SimBox::cubic(200.0);
+        let mut atoms = Atoms::new(crate::atoms::copper_species());
+        for i in 0..500u64 {
+            atoms.push_local(i + 1, 0, Vec3::new(i as f64 * 0.3, 0.0, 0.0), Vec3::ZERO);
+        }
+        let mut vv = VelocityVerlet::new(0.002);
+        vv.thermostat = Thermostat::Langevin { t_target: 300.0, damp_ps: 0.05, seed: 11 };
+        for _ in 0..2000 {
+            vv.first_half(&mut atoms, &bx);
+            atoms.zero_forces();
+            vv.second_half(&mut atoms);
+        }
+        let t = current_temperature(&atoms);
+        assert!((t - 300.0).abs() < 45.0, "Langevin equilibrium T = {t}");
+    }
+
+    #[test]
+    fn langevin_is_deterministic_per_seed() {
+        let bx = SimBox::cubic(50.0);
+        let run = |seed: u64| {
+            let mut atoms = Atoms::new(crate::atoms::copper_species());
+            atoms.push_local(1, 0, Vec3::new(25.0, 25.0, 25.0), Vec3::ZERO);
+            let mut vv = VelocityVerlet::new(0.001);
+            vv.thermostat = Thermostat::Langevin { t_target: 300.0, damp_ps: 0.1, seed };
+            for _ in 0..50 {
+                vv.first_half(&mut atoms, &bx);
+                atoms.zero_forces();
+                vv.second_half(&mut atoms);
+            }
+            atoms.vel[0]
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn berendsen_relaxes_toward_target() {
+        let (bx, mut atoms) = fcc_copper(3, 3, 3);
+        init_velocities(&mut atoms, 600.0, 2);
+        let mut vv = VelocityVerlet::new(0.001);
+        vv.thermostat = Thermostat::Berendsen { t_target: 300.0, tau_ps: 0.01 };
+        let t0 = current_temperature(&atoms);
+        for _ in 0..50 {
+            vv.first_half(&mut atoms, &bx);
+            atoms.zero_forces();
+            vv.second_half(&mut atoms);
+        }
+        let t1 = current_temperature(&atoms);
+        assert!(t1 < t0, "cooling toward target");
+        assert!((t1 - 300.0).abs() < 20.0, "T after 50 steps: {t1}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Atom migration between ranks — LAMMPS' "exchange" of flying atoms.
+//!
+//! Between neighbour-list rebuilds atoms may drift out of their owner's
+//! sub-box; at every rebuild (each ~50 steps in the paper's runs) owners
+//! hand them to the rank whose sub-box now contains them. §III-A2 notes the
+//! node scheme's buffer offsets "only require to be recalculated after
+//! rebuilding the ghost region and exchanging flying atoms" — this module
+//! is that exchange, implemented functionally over per-rank stores.
+
+use crate::atoms::Atoms;
+use crate::domain::Decomposition;
+use crate::simbox::SimBox;
+
+/// Statistics of one migration pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Atoms that changed owner.
+    pub migrated: usize,
+    /// Ranks that sent at least one atom.
+    pub senders: usize,
+}
+
+/// Move every local atom to the rank owning its (wrapped) position.
+///
+/// Ghosts must be cleared first (they are rebuilt after migration anyway).
+/// Velocities and ids travel with the atom; forces are reset (they are
+/// recomputed right after, at the rebuild).
+///
+/// # Panics
+/// If any rank still holds ghosts.
+pub fn exchange_atoms(decomp: &Decomposition, per_rank: &mut [Atoms]) -> MigrationStats {
+    assert_eq!(per_rank.len(), decomp.num_ranks());
+    let mut stats = MigrationStats::default();
+    // Collect movers: (dst, id, typ, pos, vel).
+    let mut movers: Vec<(usize, u64, u32, crate::vec3::Vec3, crate::vec3::Vec3)> = Vec::new();
+    for (rank, atoms) in per_rank.iter_mut().enumerate() {
+        assert_eq!(atoms.nghost(), 0, "clear ghosts before migration");
+        let mut sent_any = false;
+        let mut i = 0;
+        while i < atoms.nlocal {
+            let wrapped = decomp.bx.wrap(atoms.pos[i]);
+            let owner = decomp.rank_of_pos(wrapped);
+            if owner != rank {
+                movers.push((owner, atoms.id[i], atoms.typ[i], wrapped, atoms.vel[i]));
+                // swap-remove the local atom (order within a rank is not
+                // semantically meaningful for locals).
+                let last = atoms.nlocal - 1;
+                atoms.id.swap(i, last);
+                atoms.typ.swap(i, last);
+                atoms.pos.swap(i, last);
+                atoms.vel.swap(i, last);
+                atoms.force.swap(i, last);
+                atoms.id.pop();
+                atoms.typ.pop();
+                atoms.pos.pop();
+                atoms.vel.pop();
+                atoms.force.pop();
+                atoms.nlocal -= 1;
+                sent_any = true;
+                stats.migrated += 1;
+            } else {
+                // Keep positions wrapped as a side effect (LAMMPS does the
+                // same PBC remap during exchange).
+                atoms.pos[i] = wrapped;
+                i += 1;
+            }
+        }
+        if sent_any {
+            stats.senders += 1;
+        }
+    }
+    for (dst, id, typ, pos, vel) in movers {
+        per_rank[dst].push_local(id, typ, pos, vel);
+    }
+    stats
+}
+
+
+/// Spatially sort the local atoms by cell-list bin (LAMMPS'
+/// `atom_modify sort`): neighbouring atoms end up adjacent in memory, which
+/// is what keeps the descriptor gather cache-friendly. Ghosts must be
+/// cleared first (their indices would dangle).
+///
+/// Returns the permutation applied (old index of each new slot).
+///
+/// # Panics
+/// If ghosts are present.
+pub fn sort_atoms_spatially(atoms: &mut Atoms, bx: &SimBox, bin_edge: f64) -> Vec<usize> {
+    assert_eq!(atoms.nghost(), 0, "clear ghosts before sorting");
+    assert!(bin_edge > 0.0);
+    let l = bx.lengths();
+    let nb = [
+        (l.x / bin_edge).ceil().max(1.0) as usize,
+        (l.y / bin_edge).ceil().max(1.0) as usize,
+        (l.z / bin_edge).ceil().max(1.0) as usize,
+    ];
+    let key = |p: crate::vec3::Vec3| -> usize {
+        let w = bx.wrap(p);
+        let cx = (((w.x - bx.lo.x) / bin_edge) as usize).min(nb[0] - 1);
+        let cy = (((w.y - bx.lo.y) / bin_edge) as usize).min(nb[1] - 1);
+        let cz = (((w.z - bx.lo.z) / bin_edge) as usize).min(nb[2] - 1);
+        (cz * nb[1] + cy) * nb[0] + cx
+    };
+    let mut order: Vec<usize> = (0..atoms.nlocal).collect();
+    order.sort_by_key(|&i| (key(atoms.pos[i]), atoms.id[i]));
+    // Apply the permutation to every parallel array.
+    let apply = |order: &[usize], src: &mut Vec<crate::vec3::Vec3>| {
+        let new: Vec<_> = order.iter().map(|&i| src[i]).collect();
+        *src = new;
+    };
+    let ids: Vec<u64> = order.iter().map(|&i| atoms.id[i]).collect();
+    let typs: Vec<u32> = order.iter().map(|&i| atoms.typ[i]).collect();
+    atoms.id = ids;
+    atoms.typ = typs;
+    apply(&order, &mut atoms.pos);
+    apply(&order, &mut atoms.vel);
+    apply(&order, &mut atoms.force);
+    order
+}
+
+/// Check the ownership invariant: every local atom is inside its rank's
+/// sub-box. Returns the ids of violators (empty = consistent).
+pub fn ownership_violations(decomp: &Decomposition, per_rank: &[Atoms]) -> Vec<u64> {
+    let mut bad = Vec::new();
+    for (rank, atoms) in per_rank.iter().enumerate() {
+        for i in 0..atoms.nlocal {
+            if decomp.rank_of_pos(atoms.pos[i]) != rank {
+                bad.push(atoms.id[i]);
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::fcc_lattice;
+    use crate::vec3::Vec3;
+    use dpmd_partition_helper::partition;
+
+    /// Local copy of the comm crate's partitioner to avoid a cyclic dep.
+    mod dpmd_partition_helper {
+        use super::*;
+        pub fn partition(decomp: &Decomposition, global: &Atoms) -> Vec<Atoms> {
+            let mut per_rank: Vec<Atoms> =
+                (0..decomp.num_ranks()).map(|_| Atoms::new(global.species.clone())).collect();
+            for i in 0..global.nlocal {
+                let r = decomp.rank_of_pos(global.pos[i]);
+                per_rank[r].push_local(global.id[i], global.typ[i], global.pos[i], global.vel[i]);
+            }
+            per_rank
+        }
+    }
+
+    fn setup() -> (Decomposition, Vec<Atoms>) {
+        let (bx, atoms) = fcc_lattice(8, 8, 8, 3.615);
+        let decomp = Decomposition::new(bx, [2, 2, 2]);
+        let per_rank = partition(&decomp, &atoms);
+        (decomp, per_rank)
+    }
+
+    #[test]
+    fn no_movement_means_no_migration() {
+        let (decomp, mut per_rank) = setup();
+        let stats = exchange_atoms(&decomp, &mut per_rank);
+        assert_eq!(stats.migrated, 0);
+        assert!(ownership_violations(&decomp, &per_rank).is_empty());
+    }
+
+    #[test]
+    fn drifted_atoms_find_their_new_owner() {
+        let (decomp, mut per_rank) = setup();
+        let total: usize = per_rank.iter().map(|a| a.nlocal).sum();
+        // Push every atom of rank 0 across the +x boundary of its sub-box.
+        let (_, hi) = decomp.rank_box(0);
+        let shift = hi.x + 0.5;
+        let n0 = per_rank[0].nlocal;
+        for i in 0..n0 {
+            per_rank[0].pos[i].x = shift;
+        }
+        let stats = exchange_atoms(&decomp, &mut per_rank);
+        assert_eq!(stats.migrated, n0);
+        assert!(ownership_violations(&decomp, &per_rank).is_empty());
+        // Conservation.
+        let total_after: usize = per_rank.iter().map(|a| a.nlocal).sum();
+        assert_eq!(total, total_after);
+        assert_eq!(per_rank[0].nlocal, 0);
+        for a in per_rank.iter() {
+            a.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn far_images_are_wrapped_home() {
+        let (decomp, mut per_rank) = setup();
+        // Teleport one atom multiple box lengths away.
+        per_rank[3].pos[0] += Vec3::new(5.0, -3.0, 2.0) * decomp.bx.lengths().x;
+        let stats = exchange_atoms(&decomp, &mut per_rank);
+        assert!(stats.migrated <= 1);
+        assert!(ownership_violations(&decomp, &per_rank).is_empty());
+        for a in per_rank.iter() {
+            for i in 0..a.nlocal {
+                assert!(decomp.bx.contains(a.pos[i]));
+            }
+        }
+    }
+
+
+    #[test]
+    fn spatial_sort_preserves_content_and_groups_bins() {
+        use crate::migrate::sort_atoms_spatially;
+        let (decomp, mut per_rank) = setup();
+        let a = &mut per_rank[0];
+        let bx = decomp.bx;
+        let mut ids_before: Vec<u64> = a.id.clone();
+        ids_before.sort_unstable();
+        sort_atoms_spatially(a, &bx, 5.0);
+        a.validate().unwrap();
+        let mut ids_after: Vec<u64> = a.id.clone();
+        ids_after.sort_unstable();
+        assert_eq!(ids_before, ids_after, "a permutation, nothing lost");
+        // Consecutive atoms are spatially close more often than random:
+        // mean neighbour distance after sorting is below the box scale.
+        let mean_step: f64 = (1..a.nlocal)
+            .map(|i| bx.min_image(a.pos[i], a.pos[i - 1]).norm())
+            .sum::<f64>()
+            / (a.nlocal - 1) as f64;
+        assert!(mean_step < 10.0, "mean consecutive distance {mean_step}");
+    }
+
+    #[test]
+    fn ids_and_velocities_travel_with_atoms() {
+        let (decomp, mut per_rank) = setup();
+        let id = per_rank[0].id[0];
+        per_rank[0].vel[0] = Vec3::new(1.0, 2.0, 3.0);
+        let (_, hi) = decomp.rank_box(0);
+        per_rank[0].pos[0].x = hi.x + 1.0;
+        exchange_atoms(&decomp, &mut per_rank);
+        let holder = per_rank
+            .iter()
+            .find(|a| a.id[..a.nlocal].contains(&id))
+            .expect("atom must exist somewhere");
+        let idx = holder.id.iter().position(|&x| x == id).unwrap();
+        assert_eq!(holder.vel[idx], Vec3::new(1.0, 2.0, 3.0));
+    }
+}

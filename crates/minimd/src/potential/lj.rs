@@ -1,0 +1,176 @@
+//! Lennard-Jones 12-6 pair potential with energy shift at the cutoff.
+
+use super::{pair_disp, Potential, PotentialOutput};
+use crate::atoms::Atoms;
+use crate::neighbor::{ListKind, NeighborList};
+use crate::simbox::SimBox;
+
+/// `V(r) = 4ε[(σ/r)¹² − (σ/r)⁶] − V(rc)`, truncated and shifted.
+#[derive(Clone, Copy, Debug)]
+pub struct LennardJones {
+    /// Well depth ε, eV.
+    pub epsilon: f64,
+    /// Zero-crossing distance σ, Å.
+    pub sigma: f64,
+    /// Cutoff radius, Å.
+    pub rcut: f64,
+    /// Energy shift so V(rcut) = 0 (precomputed).
+    shift: f64,
+}
+
+impl LennardJones {
+    /// Build with an energy shift making the potential continuous at `rcut`.
+    pub fn new(epsilon: f64, sigma: f64, rcut: f64) -> Self {
+        assert!(epsilon > 0.0 && sigma > 0.0 && rcut > sigma);
+        let sr6 = (sigma / rcut).powi(6);
+        let shift = 4.0 * epsilon * (sr6 * sr6 - sr6);
+        LennardJones { epsilon, sigma, rcut, shift }
+    }
+
+    /// Generic argon-like parameters in metal units (for tests/examples).
+    pub fn argon_like() -> Self {
+        LennardJones::new(0.0104, 3.40, 8.5)
+    }
+
+    /// Pair energy and `f/r` scalar at squared distance `r2` (inside cutoff).
+    #[inline]
+    fn pair(&self, r2: f64) -> (f64, f64) {
+        let inv_r2 = 1.0 / r2;
+        let sr2 = self.sigma * self.sigma * inv_r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        let e = 4.0 * self.epsilon * (sr12 - sr6) - self.shift;
+        // f/r = 24ε(2·sr12 − sr6)/r².
+        let f_over_r = 24.0 * self.epsilon * (2.0 * sr12 - sr6) * inv_r2;
+        (e, f_over_r)
+    }
+}
+
+impl Potential for LennardJones {
+    fn compute(&self, atoms: &mut Atoms, nl: &NeighborList, bx: &SimBox) -> PotentialOutput {
+        let rc2 = self.rcut * self.rcut;
+        let mut energy = 0.0;
+        let mut virial = 0.0;
+        let half = nl.kind == ListKind::Half;
+        for i in 0..atoms.nlocal {
+            for &ju in nl.neighbors(i) {
+                let j = ju as usize;
+                // A full list visits each pair twice; halve shared terms.
+                let scale = if half { 1.0 } else { 0.5 };
+                let d = pair_disp(atoms, bx, i, j);
+                let r2 = d.norm2();
+                if r2 > rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let (e, f_over_r) = self.pair(r2);
+                let f = d * f_over_r;
+                if half {
+                    atoms.force[i] += f;
+                    atoms.force[j] -= f;
+                } else {
+                    atoms.force[i] += f * 1.0;
+                }
+                energy += e * scale;
+                virial += f.dot(d) * scale;
+            }
+        }
+        PotentialOutput { energy, virial }
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.rcut
+    }
+
+    fn name(&self) -> &'static str {
+        "lennard-jones"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::{copper_species, Atoms};
+    use crate::neighbor::NeighborList;
+    use crate::potential::finite_difference_force_error;
+    use crate::vec3::Vec3;
+
+    fn dimer(r: f64) -> (SimBox, Atoms) {
+        let bx = SimBox::cubic(50.0);
+        let mut atoms = Atoms::new(copper_species());
+        atoms.push_local(1, 0, Vec3::new(20.0, 20.0, 20.0), Vec3::ZERO);
+        atoms.push_local(2, 0, Vec3::new(20.0 + r, 20.0, 20.0), Vec3::ZERO);
+        (bx, atoms)
+    }
+
+    #[test]
+    fn minimum_at_r_min() {
+        // LJ minimum sits at 2^(1/6) σ with depth −ε (up to the shift).
+        let lj = LennardJones::new(0.01, 3.0, 10.0);
+        let rmin = 2.0f64.powf(1.0 / 6.0) * 3.0;
+        let (_, f_over_r) = lj.pair(rmin * rmin);
+        assert!(f_over_r.abs() < 1e-12, "force must vanish at the minimum");
+        let (e, _) = lj.pair(rmin * rmin);
+        assert!((e - (-0.01 - (4.0 * 0.01 * ((3.0f64 / 10.0).powi(12) - (3.0f64 / 10.0).powi(6))))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_shift_makes_cutoff_continuous() {
+        let lj = LennardJones::new(0.01, 3.0, 9.0);
+        let (e, _) = lj.pair(9.0 * 9.0 - 1e-9);
+        assert!(e.abs() < 1e-9, "shifted energy at cutoff: {e}");
+    }
+
+    #[test]
+    fn dimer_forces_are_equal_and_opposite() {
+        let lj = LennardJones::new(0.0104, 3.4, 8.5);
+        let (bx, mut atoms) = dimer(3.5);
+        let mut nl = NeighborList::new(lj.cutoff(), 0.5, ListKind::Half);
+        nl.build(&atoms, &bx);
+        atoms.zero_forces();
+        let out = lj.compute(&mut atoms, &nl, &bx);
+        assert!(out.energy < 0.0, "attractive at 3.5 Å");
+        assert!((atoms.force[0] + atoms.force[1]).norm() < 1e-14);
+        assert!(atoms.force[0].x < 0.0, "atom 0 pulled toward atom 1");
+    }
+
+    #[test]
+    fn half_and_full_lists_agree() {
+        let lj = LennardJones::argon_like();
+        let (bx, atoms0) = crate::lattice::fcc_lattice(4, 4, 4, 5.2);
+        for kind in [ListKind::Half, ListKind::Full] {
+            let mut atoms = atoms0.clone();
+            let mut nl = NeighborList::new(lj.cutoff(), 0.5, kind);
+            nl.build(&atoms, &bx);
+            atoms.zero_forces();
+            let out = lj.compute(&mut atoms, &nl, &bx);
+            // Compare against the half-list reference.
+            if kind == ListKind::Half {
+                continue;
+            }
+            let mut ref_atoms = atoms0.clone();
+            let mut ref_nl = NeighborList::new(lj.cutoff(), 0.5, ListKind::Half);
+            ref_nl.build(&ref_atoms, &bx);
+            ref_atoms.zero_forces();
+            let ref_out = lj.compute(&mut ref_atoms, &ref_nl, &bx);
+            assert!((out.energy - ref_out.energy).abs() < 1e-9);
+            assert!((out.virial - ref_out.virial).abs() < 1e-9);
+            // Full list only adds force on i; every local atom must match.
+            for i in 0..atoms.nlocal {
+                assert!((atoms.force[i] - ref_atoms.force[i]).norm() < 1e-9, "atom {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_match_finite_difference() {
+        let lj = LennardJones::argon_like();
+        let (bx, mut atoms) = crate::lattice::fcc_lattice(4, 4, 4, 5.2);
+        // Perturb off the lattice so forces are non-zero.
+        for (k, p) in atoms.pos.iter_mut().enumerate() {
+            p.x += 0.05 * ((k % 7) as f64 - 3.0) / 3.0;
+            p.y += 0.04 * ((k % 5) as f64 - 2.0) / 2.0;
+        }
+        let err = finite_difference_force_error(&lj, &mut atoms, &bx, 12, 42);
+        assert!(err < 1e-6, "max |F_fd − F| = {err}");
+    }
+}

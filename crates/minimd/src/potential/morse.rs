@@ -1,0 +1,123 @@
+//! Morse pair potential.
+
+use super::{pair_disp, Potential, PotentialOutput};
+use crate::atoms::Atoms;
+use crate::neighbor::{ListKind, NeighborList};
+use crate::simbox::SimBox;
+
+/// `V(r) = D (1 − e^{−α(r−r₀)})² − D`, truncated and shifted at `rcut`.
+#[derive(Clone, Copy, Debug)]
+pub struct Morse {
+    /// Well depth D, eV.
+    pub d: f64,
+    /// Stiffness α, 1/Å.
+    pub alpha: f64,
+    /// Equilibrium distance r₀, Å.
+    pub r0: f64,
+    /// Cutoff, Å.
+    pub rcut: f64,
+    shift: f64,
+}
+
+impl Morse {
+    /// Build with the cutoff energy shift precomputed.
+    pub fn new(d: f64, alpha: f64, r0: f64, rcut: f64) -> Self {
+        assert!(d > 0.0 && alpha > 0.0 && r0 > 0.0 && rcut > r0);
+        let x = 1.0 - (-alpha * (rcut - r0)).exp();
+        let shift = d * x * x - d;
+        Morse { d, alpha, r0, rcut, shift }
+    }
+
+    /// A classic copper parameterization (Girifalco & Weizer 1959):
+    /// D = 0.3429 eV, α = 1.3588 Å⁻¹, r₀ = 2.866 Å.
+    pub fn copper(rcut: f64) -> Self {
+        Morse::new(0.3429, 1.3588, 2.866, rcut)
+    }
+
+    /// Pair energy and `f/r` at distance `r`.
+    #[inline]
+    fn pair(&self, r: f64) -> (f64, f64) {
+        let ex = (-self.alpha * (r - self.r0)).exp();
+        let one = 1.0 - ex;
+        let e = self.d * one * one - self.d - self.shift;
+        // dV/dr = 2 D α e^{-α(r-r0)} (1 - e^{-α(r-r0)}); force = -dV/dr.
+        let dv_dr = 2.0 * self.d * self.alpha * ex * one;
+        (e, -dv_dr / r)
+    }
+}
+
+impl Potential for Morse {
+    fn compute(&self, atoms: &mut Atoms, nl: &NeighborList, bx: &SimBox) -> PotentialOutput {
+        let rc2 = self.rcut * self.rcut;
+        let half = nl.kind == ListKind::Half;
+        let mut energy = 0.0;
+        let mut virial = 0.0;
+        for i in 0..atoms.nlocal {
+            for &ju in nl.neighbors(i) {
+                let j = ju as usize;
+                let d = pair_disp(atoms, bx, i, j);
+                let r2 = d.norm2();
+                if r2 > rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let (e, f_over_r) = self.pair(r);
+                let f = d * f_over_r;
+                let scale = if half { 1.0 } else { 0.5 };
+                if half {
+                    atoms.force[i] += f;
+                    atoms.force[j] -= f;
+                } else {
+                    atoms.force[i] += f;
+                }
+                energy += e * scale;
+                virial += f.dot(d) * scale;
+            }
+        }
+        PotentialOutput { energy, virial }
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.rcut
+    }
+
+    fn name(&self) -> &'static str {
+        "morse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::finite_difference_force_error;
+
+    #[test]
+    fn minimum_at_r0() {
+        let m = Morse::copper(8.0);
+        let (_, f_over_r) = m.pair(m.r0);
+        assert!(f_over_r.abs() < 1e-12);
+        // Energy at minimum ≈ −D (up to the small cutoff shift).
+        let (e, _) = m.pair(m.r0);
+        assert!((e + m.d).abs() < 0.02);
+    }
+
+    #[test]
+    fn repulsive_inside_attractive_outside() {
+        let m = Morse::copper(8.0);
+        let (_, f_in) = m.pair(2.0);
+        let (_, f_out) = m.pair(4.0);
+        assert!(f_in > 0.0, "repulsive inside r0");
+        assert!(f_out < 0.0, "attractive outside r0");
+    }
+
+    #[test]
+    fn forces_match_finite_difference() {
+        let m = Morse::copper(6.0);
+        let (bx, mut atoms) = crate::lattice::fcc_copper(4, 4, 4);
+        for (k, p) in atoms.pos.iter_mut().enumerate() {
+            p.z += 0.06 * ((k % 9) as f64 - 4.0) / 4.0;
+        }
+        let err = finite_difference_force_error(&m, &mut atoms, &bx, 10, 17);
+        assert!(err < 1e-6, "max |F_fd − F| = {err}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Orthorhombic periodic simulation box.
+//!
+//! Both benchmark systems use fully periodic orthorhombic cells. The box
+//! provides wrapping into the primary image and the minimum-image
+//! displacement used by every potential and neighbour-list build.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+
+/// An orthorhombic box `[lo, hi)³` with periodic boundaries on every face.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimBox {
+    /// Lower corner.
+    pub lo: Vec3,
+    /// Upper corner.
+    pub hi: Vec3,
+}
+
+impl SimBox {
+    /// A box from the origin to `(lx, ly, lz)`.
+    ///
+    /// # Panics
+    /// If any edge is not strictly positive.
+    pub fn new(lx: f64, ly: f64, lz: f64) -> Self {
+        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "box edges must be positive");
+        SimBox { lo: Vec3::ZERO, hi: Vec3::new(lx, ly, lz) }
+    }
+
+    /// A cubic box of edge `l` at the origin.
+    pub fn cubic(l: f64) -> Self {
+        SimBox::new(l, l, l)
+    }
+
+    /// Edge lengths.
+    #[inline]
+    pub fn lengths(&self) -> Vec3 {
+        self.hi - self.lo
+    }
+
+    /// Volume, Å³.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let l = self.lengths();
+        l.x * l.y * l.z
+    }
+
+    /// Wrap a position into the primary image `[lo, hi)`.
+    #[inline]
+    pub fn wrap(&self, mut p: Vec3) -> Vec3 {
+        let l = self.lengths();
+        for d in 0..3 {
+            let len = l[d];
+            // rem_euclid keeps the result in [0, len) even for far images.
+            p[d] = (p[d] - self.lo[d]).rem_euclid(len) + self.lo[d];
+            // Guard against the p == hi edge case from floating rounding.
+            if p[d] >= self.hi[d] {
+                p[d] = self.lo[d];
+            }
+        }
+        p
+    }
+
+    /// Minimum-image displacement `a - b`.
+    ///
+    /// Precondition: both points lie within one box length of the primary
+    /// image (always true for positions maintained by [`Self::wrap`] — the
+    /// invariant every integrator step restores). Far-image inputs must be
+    /// wrapped first.
+    #[inline]
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let l = self.lengths();
+        let mut d = a - b;
+        for i in 0..3 {
+            let len = l[i];
+            if d[i] > 0.5 * len {
+                d[i] -= len;
+            } else if d[i] < -0.5 * len {
+                d[i] += len;
+            }
+        }
+        d
+    }
+
+    /// Minimum-image squared distance between two points.
+    #[inline]
+    pub fn dist2(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm2()
+    }
+
+    /// `true` if `p` lies inside the primary image.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        (0..3).all(|d| p[d] >= self.lo[d] && p[d] < self.hi[d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_brings_points_inside() {
+        let b = SimBox::cubic(10.0);
+        assert_eq!(b.wrap(Vec3::new(11.0, -1.0, 25.0)), Vec3::new(1.0, 9.0, 5.0));
+        assert_eq!(b.wrap(Vec3::new(5.0, 0.0, 9.999)), Vec3::new(5.0, 0.0, 9.999));
+        assert!(b.contains(b.wrap(Vec3::new(-123.4, 567.8, 0.0))));
+    }
+
+    #[test]
+    fn wrap_handles_exact_boundary() {
+        let b = SimBox::cubic(10.0);
+        let w = b.wrap(Vec3::new(10.0, 20.0, -10.0));
+        assert!(b.contains(w));
+        assert_eq!(w, Vec3::ZERO);
+    }
+
+    #[test]
+    fn min_image_shorter_than_half_box() {
+        let b = SimBox::cubic(10.0);
+        // Points near opposite faces are close through the boundary.
+        let d = b.min_image(Vec3::new(0.5, 0.0, 0.0), Vec3::new(9.5, 0.0, 0.0));
+        assert!((d.x - 1.0).abs() < 1e-12);
+        assert!((b.dist2(Vec3::new(0.5, 0.0, 0.0), Vec3::new(9.5, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_is_antisymmetric() {
+        let b = SimBox::new(8.0, 12.0, 20.0);
+        let p = Vec3::new(7.5, 1.0, 19.0);
+        let q = Vec3::new(0.5, 11.0, 0.5);
+        let d1 = b.min_image(p, q);
+        let d2 = b.min_image(q, p);
+        assert!((d1 + d2).norm() < 1e-12);
+    }
+
+    #[test]
+    fn volume_and_lengths() {
+        let b = SimBox::new(2.0, 3.0, 4.0);
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.lengths(), Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_edge_rejected() {
+        let _ = SimBox::new(1.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! LAMMPS "metal" unit system.
+//!
+//! Distances in ångström, energies in eV, time in picoseconds, masses in
+//! g/mol, temperature in kelvin, pressure in bar — the unit system both
+//! benchmark systems of the paper (copper at 1 fs/step, water at 0.5 fs/step)
+//! are specified in.
+
+/// Boltzmann constant, eV/K.
+pub const KB: f64 = 8.617333262e-5;
+
+/// Conversion so `a [Å/ps²] = FORCE_TO_ACCEL · F [eV/Å] / m [g/mol]`.
+///
+/// Derivation: 1 eV/Å = 1.602177e-9 N; 1 g/mol = 1.66054e-27 kg;
+/// their ratio is 9.64853e17 m/s² = 9648.53 Å/ps².
+pub const FORCE_TO_ACCEL: f64 = 9648.53306;
+
+/// Conversion so `KE [eV] = 0.5 · MVV_TO_ENERGY · m [g/mol] · v² [Å²/ps²]`.
+///
+/// 1 g/mol · Å²/ps² = 1.0364269e-4 eV.
+pub const MVV_TO_ENERGY: f64 = 1.0364269e-4;
+
+/// Conversion from eV/Å³ to bar for the virial pressure.
+///
+/// 1 eV/Å³ = 1.602177e6 bar.
+pub const EVA3_TO_BAR: f64 = 1.602176634e6;
+
+/// Atomic mass of copper, g/mol.
+pub const MASS_CU: f64 = 63.546;
+/// Atomic mass of oxygen, g/mol.
+pub const MASS_O: f64 = 15.9994;
+/// Atomic mass of hydrogen, g/mol.
+pub const MASS_H: f64 = 1.008;
+
+/// FCC lattice constant of copper, Å.
+pub const CU_LATTICE: f64 = 3.615;
+
+/// One femtosecond, in ps.
+pub const FEMTOSECOND: f64 = 1.0e-3;
+
+/// Kinetic energy of one particle, eV.
+#[inline]
+pub fn kinetic_energy(mass: f64, v2: f64) -> f64 {
+    0.5 * MVV_TO_ENERGY * mass * v2
+}
+
+/// Instantaneous temperature from total kinetic energy and degrees of freedom.
+#[inline]
+pub fn temperature(total_ke: f64, dof: usize) -> f64 {
+    if dof == 0 {
+        0.0
+    } else {
+        2.0 * total_ke / (dof as f64 * KB)
+    }
+}
+
+/// Nanoseconds of simulated physical time per wall-clock day, given the
+/// time-step in femtoseconds and the wall time per step in seconds — the
+/// headline metric of the paper ("149 ns/day").
+#[inline]
+pub fn ns_per_day(timestep_fs: f64, seconds_per_step: f64) -> f64 {
+    if seconds_per_step <= 0.0 {
+        return f64::INFINITY;
+    }
+    let steps_per_day = 86_400.0 / seconds_per_step;
+    steps_per_day * timestep_fs * 1.0e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        // FORCE_TO_ACCEL · MVV_TO_ENERGY should be ≈ 1 (both are the same
+        // conversion seen from opposite directions: eV per g/mol·Å²/ps²).
+        assert!((FORCE_TO_ACCEL * MVV_TO_ENERGY - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn temperature_of_known_ke() {
+        // 3N/2 kB T = KE: with N=100 atoms (dof = 300) at T=300 K.
+        let ke = 1.5 * 100.0 * KB * 300.0;
+        assert!((temperature(ke, 300) - 300.0).abs() < 1e-9);
+        assert_eq!(temperature(1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn ns_per_day_reproduces_paper_arithmetic() {
+        // The paper's 149 ns/day for copper at 1 fs/step means
+        // 149e6 steps/day ⇒ 5.80e-4 s/step.
+        let s_per_step = 86_400.0 / 149.0e6;
+        assert!((ns_per_day(1.0, s_per_step) - 149.0).abs() < 1e-9);
+        // Water at 0.5 fs: same wall speed gives half the ns/day.
+        assert!((ns_per_day(0.5, s_per_step) - 74.5).abs() < 1e-9);
+        assert!(ns_per_day(1.0, 0.0).is_infinite());
+    }
+}

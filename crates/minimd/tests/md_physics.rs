@@ -1,0 +1,99 @@
+//! Physics integration tests: the substrate must behave like matter, not
+//! just conserve invariants — solids stay solid, compressed crystals push
+//! back, thermostats thermalize, diffusion distinguishes phases.
+
+use minimd::compute::{pressure_bar, Msd};
+use minimd::integrate::{current_temperature, init_velocities, Thermostat, VelocityVerlet};
+use minimd::lattice::fcc_copper;
+use minimd::neighbor::{ListKind, NeighborList};
+use minimd::potential::eam::SuttonChen;
+use minimd::potential::Potential;
+use minimd::sim::Simulation;
+use minimd::units::FEMTOSECOND;
+
+#[test]
+fn cold_copper_crystal_stays_crystalline() {
+    // 300 K is far below copper's melting point: after 300 fs of EAM
+    // dynamics the MSD must stay well below the nearest-neighbour distance
+    // squared (no diffusion — thermal vibration only).
+    let (bx, mut atoms) = fcc_copper(5, 5, 5);
+    init_velocities(&mut atoms, 300.0, 1);
+    let reference = Msd::new(&atoms);
+    let sc = SuttonChen::copper(6.5);
+    let mut sim = Simulation::new(bx, atoms, Box::new(sc), VelocityVerlet::new(FEMTOSECOND), 1.0, 50);
+    sim.run(300);
+    let msd = reference.compute(&sim.atoms, &sim.bx);
+    // Lindemann-ish threshold: rms displacement ≪ 10% of d_nn (2.556 Å).
+    assert!(msd < 0.3, "MSD {msd} Å² — the crystal must not melt at 300 K");
+}
+
+#[test]
+fn compressed_crystal_has_higher_pressure_than_stretched() {
+    // 6.0 Å cutoff keeps 2·(rc+skin) within the smallest (compressed) box.
+    let sc = SuttonChen::copper(6.0);
+    let eval = |a: f64| {
+        let (bx, mut atoms) = minimd::lattice::fcc_lattice(5, 5, 5, a);
+        let mut nl = NeighborList::new(sc.cutoff(), 1.0, ListKind::Full);
+        nl.build(&atoms, &bx);
+        atoms.zero_forces();
+        let out = sc.compute(&mut atoms, &nl, &bx);
+        pressure_bar(&atoms, &bx, 0.0, out.virial)
+    };
+    let compressed = eval(3.45);
+    let equilibrium = eval(3.615);
+    let stretched = eval(3.80);
+    assert!(
+        compressed > equilibrium && equilibrium > stretched,
+        "P ordering violated: {compressed:.0} / {equilibrium:.0} / {stretched:.0} bar"
+    );
+    assert!(compressed > 0.0, "compression must push back: {compressed:.0} bar");
+    assert!(stretched < 0.0, "tension must pull in: {stretched:.0} bar");
+}
+
+#[test]
+fn langevin_heats_a_cold_crystal_to_the_bath_temperature() {
+    let (bx, atoms) = fcc_copper(4, 4, 4); // zero velocities
+    let sc = SuttonChen::copper(6.0); // 2·(rc+skin) fits the 14.5 Å box
+    let mut vv = VelocityVerlet::new(2.0 * FEMTOSECOND);
+    vv.thermostat = Thermostat::Langevin { t_target: 400.0, damp_ps: 0.1, seed: 5 };
+    let mut sim = Simulation::new(bx, atoms, Box::new(sc), vv, 1.0, 50);
+    sim.run(1500);
+    let t = current_temperature(&sim.atoms);
+    assert!((150.0..650.0).contains(&t), "bath coupling failed: T = {t}");
+    assert!(t > 100.0, "a cold crystal must heat up in a 400 K bath");
+}
+
+#[test]
+fn equipartition_between_kinetic_modes() {
+    // After thermalization, KE splits evenly across x/y/z (equipartition).
+    let (bx, mut atoms) = fcc_copper(5, 5, 5);
+    init_velocities(&mut atoms, 300.0, 9);
+    let sc = SuttonChen::copper(6.5);
+    let mut sim = Simulation::new(bx, atoms, Box::new(sc), VelocityVerlet::new(FEMTOSECOND), 1.0, 50);
+    sim.run(200);
+    let a = &sim.atoms;
+    let mut ke = [0.0f64; 3];
+    for i in 0..a.nlocal {
+        let m = a.mass(i);
+        for ax in 0..3 {
+            ke[ax] += 0.5 * minimd::units::MVV_TO_ENERGY * m * a.vel[i][ax] * a.vel[i][ax];
+        }
+    }
+    let mean = (ke[0] + ke[1] + ke[2]) / 3.0;
+    for ax in 0..3 {
+        let dev = (ke[ax] - mean).abs() / mean;
+        assert!(dev < 0.25, "axis {ax}: KE share off by {dev:.2}");
+    }
+}
+
+#[test]
+fn momentum_is_conserved_through_a_long_nve_run() {
+    let (bx, mut atoms) = fcc_copper(4, 4, 4);
+    init_velocities(&mut atoms, 300.0, 2); // zero total momentum by design
+    let sc = SuttonChen::copper(6.0); // respects the minimum-image bound
+    let mut sim = Simulation::new(bx, atoms, Box::new(sc), VelocityVerlet::new(FEMTOSECOND), 1.0, 50);
+    sim.run(400);
+    let a = &sim.atoms;
+    let p = (0..a.nlocal).fold(minimd::Vec3::ZERO, |acc, i| acc + a.vel[i] * a.mass(i));
+    assert!(p.norm() < 1e-7, "net momentum drifted to {p:?}");
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the MD substrate's geometric and physical
+//! invariants.
+
+use proptest::prelude::*;
+
+use minimd::atoms::{copper_species, Atoms};
+use minimd::domain::Decomposition;
+use minimd::lattice::fcc_lattice;
+use minimd::neighbor::{ListKind, NeighborList};
+use minimd::potential::lj::LennardJones;
+use minimd::potential::Potential;
+use minimd::simbox::SimBox;
+use minimd::vec3::Vec3;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -100.0f64..100.0
+}
+
+proptest! {
+    /// Wrapping always lands in the primary image and is idempotent.
+    #[test]
+    fn wrap_is_idempotent_and_contained(
+        x in coord(), y in coord(), z in coord(),
+        lx in 1.0f64..50.0, ly in 1.0f64..50.0, lz in 1.0f64..50.0,
+    ) {
+        let b = SimBox::new(lx, ly, lz);
+        let w = b.wrap(Vec3::new(x, y, z));
+        prop_assert!(b.contains(w), "{w:?} outside {b:?}");
+        let w2 = b.wrap(w);
+        prop_assert!((w - w2).norm() < 1e-9);
+    }
+
+    /// Wrapping never changes positions modulo the box: the minimum image
+    /// of (original, wrapped) is zero.
+    #[test]
+    fn wrap_preserves_equivalence_class(
+        x in coord(), y in coord(), z in coord(),
+        l in 2.0f64..40.0,
+    ) {
+        let b = SimBox::cubic(l);
+        let p = Vec3::new(x, y, z);
+        let w = b.wrap(p);
+        // Wrapping twice is a no-op, so w and wrap(w) are the same point;
+        // the displacement between a point and its wrap is a lattice vector,
+        // which min_image reduces to zero once both operands are in-box.
+        let d = b.min_image(b.wrap(p), w);
+        prop_assert!(d.norm() < 1e-6, "residual {d:?}");
+    }
+
+    /// Minimum-image displacement components never exceed half the box.
+    #[test]
+    fn min_image_is_at_most_half_box(
+        ax in coord(), ay in coord(), az in coord(),
+        bx_ in coord(), by in coord(), bz in coord(),
+        l in 2.0f64..40.0,
+    ) {
+        let b = SimBox::cubic(l);
+        // min_image's contract requires in-box operands (see its docs).
+        let d = b.min_image(b.wrap(Vec3::new(ax, ay, az)), b.wrap(Vec3::new(bx_, by, bz)));
+        for k in 0..3 {
+            prop_assert!(d[k].abs() <= l / 2.0 + 1e-9, "axis {k}: {}", d[k]);
+        }
+    }
+
+    /// Neighbour lists are symmetric: j ∈ N(i) ⇔ i ∈ N(j) (full lists over
+    /// local atoms with no ghosts).
+    #[test]
+    fn full_neighbor_list_is_symmetric(cells in 3usize..5, a in 4.0f64..6.0) {
+        let (bx, atoms) = fcc_lattice(cells, cells, cells, a);
+        let rc = (a * 0.9).min(bx.lengths().x / 2.0 - 0.5);
+        let mut nl = NeighborList::new(rc, 0.3, ListKind::Full);
+        nl.build(&atoms, &bx);
+        for i in 0..atoms.nlocal {
+            for &j in nl.neighbors(i) {
+                let back = nl.neighbors(j as usize);
+                prop_assert!(back.contains(&(i as u32)), "pair ({i},{j}) asymmetric");
+            }
+        }
+    }
+
+    /// LJ forces are translation invariant: rigidly shifting all atoms
+    /// (with wrap) leaves forces unchanged.
+    #[test]
+    fn lj_forces_translation_invariant(
+        sx in -5.0f64..5.0, sy in -5.0f64..5.0, sz in -5.0f64..5.0,
+    ) {
+        let lj = LennardJones::new(0.01, 3.0, 7.0);
+        let (bx, mut a1) = fcc_lattice(4, 4, 4, 4.2);
+        // Perturb deterministically for non-zero forces.
+        for (k, p) in a1.pos.iter_mut().enumerate() {
+            p.x += 0.1 * ((k % 5) as f64 - 2.0) / 2.0;
+            *p = bx.wrap(*p);
+        }
+        let mut a2 = a1.clone();
+        for p in &mut a2.pos {
+            *p = bx.wrap(*p + Vec3::new(sx, sy, sz));
+        }
+        let mut nl = NeighborList::new(7.0, 0.5, ListKind::Full);
+        nl.build(&a1, &bx);
+        a1.zero_forces();
+        let e1 = lj.compute(&mut a1, &nl, &bx).energy;
+        nl.build(&a2, &bx);
+        a2.zero_forces();
+        let e2 = lj.compute(&mut a2, &nl, &bx).energy;
+        prop_assert!((e1 - e2).abs() < 1e-8, "{e1} vs {e2}");
+        for i in 0..a1.nlocal {
+            prop_assert!((a1.force[i] - a2.force[i]).norm() < 1e-8, "atom {i}");
+        }
+    }
+
+    /// Domain decomposition: every wrapped point belongs to exactly the
+    /// rank whose box contains it, and rank ↔ node mappings are consistent.
+    #[test]
+    fn decomposition_owns_every_point(
+        x in coord(), y in coord(), z in coord(),
+        nx in 1usize..5, ny in 1usize..5, nz in 1usize..5,
+    ) {
+        let d = Decomposition::new(SimBox::new(20.0, 24.0, 28.0), [nx, ny, nz]);
+        let p = d.bx.wrap(Vec3::new(x, y, z));
+        let r = d.rank_of_pos(p);
+        prop_assert!(r < d.num_ranks());
+        let (lo, hi) = d.rank_box(r);
+        for k in 0..3 {
+            prop_assert!(p[k] >= lo[k] - 1e-9 && p[k] <= hi[k] + 1e-9, "axis {k}");
+        }
+        let node = d.rank_to_node(r);
+        prop_assert!(d.node_ranks(node).contains(&r));
+        prop_assert_eq!(d.node_of_pos(p), node);
+    }
+
+    /// Kinetic energy and temperature are invariant under atom reordering.
+    #[test]
+    fn kinetic_energy_is_permutation_invariant(seed in any::<u64>()) {
+        use minimd::integrate::{init_velocities, kinetic_energy};
+        let mut atoms = Atoms::new(copper_species());
+        for i in 0..24u64 {
+            atoms.push_local(i + 1, 0, Vec3::new(i as f64, 0.0, 0.0), Vec3::ZERO);
+        }
+        init_velocities(&mut atoms, 250.0, seed);
+        let ke1 = kinetic_energy(&atoms);
+        // Reverse the arrays (a permutation).
+        atoms.vel.reverse();
+        atoms.id.reverse();
+        let ke2 = kinetic_energy(&atoms);
+        prop_assert!((ke1 - ke2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,373 @@
+//! The direct execution path — "TensorFlow removed" (§III-B1).
+//!
+//! The paper extracts every kernel participating in the force calculation
+//! out of the TensorFlow graph and rewrites the DeePMD potential as straight
+//! kernel calls. The ingredients reproduced here:
+//!
+//! * **No framework**: no graph interpretation, no session, no per-run
+//!   scheduling overhead.
+//! * **Preallocated memory**: [`DirectWorkspace`] sizes every intermediate
+//!   once at startup for the maximum batch; steady-state runs perform zero
+//!   heap allocation (tracked by [`DirectStats::allocations`]).
+//! * **Kernel fusion**: bias add and activation fold into a single pass over
+//!   the GEMM output ([`fused_bias_act`]).
+//! * **NT → NN**: parameter transposes are precomputed at build time, so the
+//!   backward pass (force evaluation) runs GEMM-NN only.
+//! * **sve-gemm dispatch**: tall-and-skinny kernels when `m ≤ 3`.
+//!
+//! Numerical results in f64 are validated against the reference layer
+//! implementation in this module's tests; the mixed-precision inference
+//! variants live in the `deepmd` crate.
+
+use crate::activation::Activation;
+use crate::gemm;
+use crate::layers::{Mlp, Resnet};
+use crate::matrix::Matrix;
+
+/// Counters describing direct-path execution (the graph runtime's
+/// [`crate::graph::RunStats`] counterpart).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirectStats {
+    /// Fused kernels executed.
+    pub kernels: u64,
+    /// Heap allocations performed (buffer growth only; zero in steady state).
+    pub allocations: u64,
+    /// GEMM FLOPs executed.
+    pub matmul_flops: u64,
+}
+
+/// Fold a bias add and activation into one pass over a GEMM output block:
+/// `y[r, :] = act(y[r, :] + b)` — the paper's kernel fusion applied to the
+/// affine tail of every dense layer.
+pub fn fused_bias_act(m: usize, n: usize, y: &mut [f64], b: &[f64], act: Activation) {
+    debug_assert!(y.len() >= m * n && b.len() >= n);
+    for r in 0..m {
+        let row = &mut y[r * n..(r + 1) * n];
+        for (v, &bb) in row.iter_mut().zip(b) {
+            *v = act.apply(*v + bb);
+        }
+    }
+}
+
+/// f32 variant of [`fused_bias_act`].
+pub fn fused_bias_act_f32(m: usize, n: usize, y: &mut [f32], b: &[f32], act: Activation) {
+    debug_assert!(y.len() >= m * n && b.len() >= n);
+    for r in 0..m {
+        let row = &mut y[r * n..(r + 1) * n];
+        for (v, &bb) in row.iter_mut().zip(b) {
+            *v = act.apply_f32(*v + bb);
+        }
+    }
+}
+
+/// Preallocated per-layer buffers for a [`DirectMlp`].
+///
+/// All buffers are sized for `max_batch` at construction; running a smaller
+/// batch reuses them without touching the allocator.
+#[derive(Clone, Debug, Default)]
+struct DirectWorkspace {
+    /// Biased pre-activation per layer (`xW + b`, saved for backward).
+    pre: Vec<Vec<f64>>,
+    /// Post-activation (+skip) outputs per layer.
+    out: Vec<Vec<f64>>,
+    /// Gradient w.r.t. the current layer's output.
+    grad_out: Vec<f64>,
+    /// Gradient w.r.t. the biased pre-activation (scratch).
+    dpre: Vec<f64>,
+    /// Gradient w.r.t. the current layer's input.
+    grad_in: Vec<f64>,
+    /// Buffer-growth events.
+    allocations: u64,
+}
+
+impl DirectWorkspace {
+    fn ensure(&mut self, in_dim: usize, dims: &[usize], batch: usize) {
+        while self.pre.len() < dims.len() {
+            self.pre.push(Vec::new());
+            self.out.push(Vec::new());
+        }
+        fn grow(buf: &mut Vec<f64>, need: usize, allocs: &mut u64) {
+            if buf.capacity() < need {
+                *allocs += 1;
+            }
+            if buf.len() < need {
+                buf.resize(need, 0.0);
+            }
+        }
+        let mut allocs = self.allocations;
+        for (i, &d) in dims.iter().enumerate() {
+            grow(&mut self.pre[i], batch * d, &mut allocs);
+            grow(&mut self.out[i], batch * d, &mut allocs);
+        }
+        let widest = dims.iter().copied().max().unwrap_or(0).max(in_dim);
+        grow(&mut self.grad_out, batch * widest, &mut allocs);
+        grow(&mut self.dpre, batch * widest, &mut allocs);
+        grow(&mut self.grad_in, batch * widest, &mut allocs);
+        self.allocations = allocs;
+    }
+}
+
+/// An MLP compiled for direct execution: flat weight buffers, precomputed
+/// transposes, fused kernels, workspace reuse.
+#[derive(Clone, Debug)]
+pub struct DirectMlp {
+    in_dim: usize,
+    dims: Vec<usize>,
+    weights: Vec<Matrix<f64>>,
+    /// Transposed weights (`out×in`), precomputed so the backward pass is
+    /// pure GEMM-NN — the paper's NT→NN conversion.
+    weights_t: Vec<Matrix<f64>>,
+    biases: Vec<Vec<f64>>,
+    acts: Vec<Activation>,
+    resnets: Vec<Resnet>,
+    ws: DirectWorkspace,
+    stats: DirectStats,
+}
+
+impl DirectMlp {
+    /// Compile a trained [`Mlp`] for direct execution, preallocating the
+    /// workspace for batches up to `max_batch`.
+    pub fn compile(mlp: &Mlp, max_batch: usize) -> Self {
+        let in_dim = mlp.in_dim();
+        let dims: Vec<usize> = mlp.layers.iter().map(|l| l.out_dim()).collect();
+        let mut ws = DirectWorkspace::default();
+        ws.ensure(in_dim, &dims, max_batch.max(1));
+        DirectMlp {
+            in_dim,
+            dims,
+            weights: mlp.layers.iter().map(|l| l.w.clone()).collect(),
+            weights_t: mlp.layers.iter().map(|l| l.w.transpose()).collect(),
+            biases: mlp.layers.iter().map(|l| l.b.clone()).collect(),
+            acts: mlp.layers.iter().map(|l| l.act).collect(),
+            resnets: mlp.layers.iter().map(|l| l.resnet).collect(),
+            ws,
+            stats: DirectStats::default(),
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        *self.dims.last().expect("at least one layer")
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> DirectStats {
+        self.stats
+    }
+
+    /// Forward pass for `batch` rows of `x` (row-major, `batch × in_dim`).
+    ///
+    /// Returns the final layer output as a slice of the internal workspace —
+    /// valid until the next call.
+    pub fn forward(&mut self, x: &[f64], batch: usize) -> &[f64] {
+        assert!(x.len() >= batch * self.in_dim, "input buffer too short");
+        self.ws.ensure(self.in_dim, &self.dims, batch);
+        let nl = self.dims.len();
+        for li in 0..nl {
+            let m = batch;
+            let k = if li == 0 { self.in_dim } else { self.dims[li - 1] };
+            let n = self.dims[li];
+            // Disjoint field borrows: previous output (read) vs this layer's
+            // pre buffer (write) live in different Vec slots / fields.
+            let (pre_done, pre_rest) = self.ws.pre.split_at_mut(li);
+            let _ = pre_done;
+            let pre_buf = &mut pre_rest[0];
+            let prev: &[f64] = if li == 0 { &x[..m * k] } else { &self.ws.out[li - 1][..m * k] };
+            gemm::auto_nn_f64(m, n, k, prev, self.weights[li].as_slice(), &mut pre_buf[..m * n]);
+            // Bias folds into the saved pre-activation (backward needs
+            // act'(xW + b)).
+            for r in 0..m {
+                let row = &mut pre_buf[r * n..(r + 1) * n];
+                for (v, &bb) in row.iter_mut().zip(&self.biases[li]) {
+                    *v += bb;
+                }
+            }
+            // Activation into the output buffer (fused pass over `pre`).
+            let (out_done, out_rest) = self.ws.out.split_at_mut(li);
+            let out_buf = &mut out_rest[0];
+            let prev: &[f64] = if li == 0 { &x[..m * k] } else { &out_done[li - 1][..m * k] };
+            for i in 0..m * n {
+                out_buf[i] = self.acts[li].apply(pre_buf[i]);
+            }
+            match self.resnets[li] {
+                Resnet::None => {}
+                Resnet::Identity => {
+                    for (o, &i) in out_buf[..m * n].iter_mut().zip(prev) {
+                        *o += i;
+                    }
+                }
+                Resnet::Doubling => {
+                    for r in 0..m {
+                        for c in 0..k {
+                            let v = prev[r * k + c];
+                            out_buf[r * n + c] += v;
+                            out_buf[r * n + c + k] += v;
+                        }
+                    }
+                }
+            }
+            self.stats.matmul_flops += gemm::flops(m, n, k);
+            self.stats.kernels += 2; // one GEMM + one fused epilogue
+        }
+        self.stats.allocations = self.ws.allocations;
+        &self.ws.out[nl - 1][..batch * self.out_dim()]
+    }
+
+    /// Backward pass computing the input gradient `∂L/∂x` given the output
+    /// cotangent `dout` (`batch × out_dim`), after a matching
+    /// [`Self::forward`]. All matmuls run as GEMM-NN against the precomputed
+    /// transposed weights. Returns a slice borrowed from the workspace.
+    pub fn backward_input(&mut self, batch: usize, dout: &[f64]) -> &[f64] {
+        let nl = self.dims.len();
+        let od = self.out_dim();
+        assert!(dout.len() >= batch * od, "cotangent too short");
+        self.ws.grad_out[..batch * od].copy_from_slice(&dout[..batch * od]);
+        for li in (0..nl).rev() {
+            let m = batch;
+            let n = self.dims[li];
+            let k = if li == 0 { self.in_dim } else { self.dims[li - 1] };
+            // dpre = g ⊙ act'(pre)
+            let pre = &self.ws.pre[li];
+            for i in 0..m * n {
+                self.ws.dpre[i] = self.ws.grad_out[i] * self.acts[li].derivative(pre[i]);
+            }
+            // grad_in = dpre · Wᵀ, executed as NN against weights_t (k wide).
+            gemm::auto_nn_f64(
+                m,
+                k,
+                n,
+                &self.ws.dpre[..m * n],
+                self.weights_t[li].as_slice(),
+                &mut self.ws.grad_in[..m * k],
+            );
+            self.stats.matmul_flops += gemm::flops(m, k, n);
+            self.stats.kernels += 1;
+            // Skip-path gradient flows straight through from grad_out.
+            match self.resnets[li] {
+                Resnet::None => {}
+                Resnet::Identity => {
+                    for i in 0..m * k {
+                        self.ws.grad_in[i] += self.ws.grad_out[i];
+                    }
+                }
+                Resnet::Doubling => {
+                    for r in 0..m {
+                        for c in 0..k {
+                            self.ws.grad_in[r * k + c] +=
+                                self.ws.grad_out[r * n + c] + self.ws.grad_out[r * n + c + k];
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut self.ws.grad_out, &mut self.ws.grad_in);
+        }
+        &self.ws.grad_out[..batch * self.in_dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn plain_mlp(rng: &mut StdRng) -> Mlp {
+        Mlp::new(vec![
+            Dense::xavier(4, 8, Activation::Tanh, Resnet::None, rng),
+            Dense::xavier(8, 8, Activation::Tanh, Resnet::None, rng),
+            Dense::xavier(8, 1, Activation::Linear, Resnet::None, rng),
+        ])
+    }
+
+    fn resnet_mlp(rng: &mut StdRng) -> Mlp {
+        Mlp::new(vec![
+            Dense::xavier(3, 6, Activation::Tanh, Resnet::Doubling, rng),
+            Dense::xavier(6, 6, Activation::Tanh, Resnet::Identity, rng),
+            Dense::xavier(6, 1, Activation::Linear, Resnet::None, rng),
+        ])
+    }
+
+    #[test]
+    fn direct_forward_matches_reference_mlp() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for mlp in [plain_mlp(&mut rng), resnet_mlp(&mut rng)] {
+            let mut direct = DirectMlp::compile(&mlp, 8);
+            let ind = mlp.in_dim();
+            let x = Matrix::from_fn(5, ind, |_, _| rng.random_range(-1.0..1.0));
+            let reference = mlp.forward_infer(&x);
+            let out = direct.forward(x.as_slice(), 5);
+            for i in 0..5 {
+                assert!((out[i] - reference[(i, 0)]).abs() < 1e-12, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_backward_matches_reference_mlp() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for mlp in [plain_mlp(&mut rng), resnet_mlp(&mut rng)] {
+            let mut direct = DirectMlp::compile(&mlp, 8);
+            let ind = mlp.in_dim();
+            let x = Matrix::from_fn(3, ind, |_, _| rng.random_range(-1.0..1.0));
+            let (_, caches) = mlp.forward(&x);
+            let dout = Matrix::from_fn(3, 1, |_, _| 1.0);
+            let (dx_ref, _) = mlp.backward(&caches, &dout);
+
+            direct.forward(x.as_slice(), 3);
+            let dx = direct.backward_input(3, dout.as_slice());
+            for i in 0..3 * ind {
+                assert!(
+                    (dx[i] - dx_ref.as_slice()[i]).abs() < 1e-10,
+                    "idx {i}: {} vs {}",
+                    dx[i],
+                    dx_ref.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_runs_do_not_allocate() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mlp = plain_mlp(&mut rng);
+        let mut direct = DirectMlp::compile(&mlp, 8);
+        let x: Vec<f64> = (0..8 * 4).map(|i| (i as f64).sin()).collect();
+        direct.forward(&x, 8);
+        let allocs_after_first = direct.stats().allocations;
+        for _ in 0..10 {
+            direct.forward(&x, 8);
+            direct.forward(&x, 3); // smaller batch must reuse buffers too
+            let d = vec![1.0; 8];
+            direct.backward_input(3, &d);
+        }
+        assert_eq!(direct.stats().allocations, allocs_after_first, "steady state must not allocate");
+    }
+
+    #[test]
+    fn fused_bias_act_equals_separate_ops() {
+        let mut y = vec![0.5, -0.5, 1.0, 0.0];
+        let b = vec![0.1, -0.1];
+        fused_bias_act(2, 2, &mut y, &b, Activation::Tanh);
+        assert!((y[0] - 0.6f64.tanh()).abs() < 1e-15);
+        assert!((y[3] - (-0.1f64).tanh()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fused_bias_act_f32_matches_f64_to_single_precision() {
+        let mut y64 = vec![0.25f64, -1.5, 2.0, 0.75];
+        let mut y32: Vec<f32> = y64.iter().map(|&v| v as f32).collect();
+        let b64 = vec![0.5f64, -0.25];
+        let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+        fused_bias_act(2, 2, &mut y64, &b64, Activation::Tanh);
+        fused_bias_act_f32(2, 2, &mut y32, &b32, Activation::Tanh);
+        for i in 0..4 {
+            assert!((y64[i] - y32[i] as f64).abs() < 1e-6);
+        }
+    }
+}

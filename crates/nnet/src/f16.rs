@@ -1,0 +1,361 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! The paper converts the first-layer GEMM of the fitting net to fp16
+//! (`MIX-fp16`). Fugaku's A64FX executes fp16 natively through SVE; here the
+//! numerics are reproduced in software: values are *stored* as binary16 and
+//! arithmetic is performed by widening to `f32`, exactly like an
+//! fp16-storage / fp32-accumulate tensor kernel. Conversion uses
+//! round-to-nearest-even, matching hardware `fcvt` behaviour, so the rounding
+//! error injected into Table II / Fig. 6 experiments is the real fp16 error.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// An IEEE 754 binary16 floating-point number stored as its bit pattern.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct F16(pub u16);
+
+/// Convert an `f32` to binary16 bits with round-to-nearest-even.
+///
+/// Handles normals, subnormals, signed zero, infinities and NaN (NaN payload
+/// is truncated but kept non-zero so NaN stays NaN).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            // Keep a non-zero payload so the NaN survives the conversion.
+            sign | 0x7c00 | 0x0200 | ((mant >> 13) as u16 & 0x03ff)
+        };
+    }
+
+    let unbiased = exp - 127;
+    let h_exp = unbiased + 15;
+
+    if h_exp >= 0x1f {
+        // Overflow: round to infinity.
+        return sign | 0x7c00;
+    }
+
+    if h_exp <= 0 {
+        // Subnormal half (or underflow to zero).
+        if h_exp < -10 {
+            // Too small even for the largest subnormal shift: flush to zero.
+            return sign;
+        }
+        // Add the implicit leading one, then shift into the 10-bit field.
+        let m = mant | 0x0080_0000;
+        let shift = (14 - h_exp) as u32;
+        // Round-to-nearest-even: add (half - 1) plus the low bit of the result.
+        let half = 1u32 << (shift - 1);
+        let rounded = (m + half - 1 + ((m >> shift) & 1)) >> shift;
+        return sign | rounded as u16;
+    }
+
+    // Normal half.
+    let mut out = ((h_exp as u32) << 10) | (mant >> 13);
+    let round_bit = 1u32 << 12;
+    if (mant & round_bit) != 0 && ((mant & (round_bit - 1)) != 0 || (out & 1) != 0) {
+        // A carry out of the mantissa rolls into the exponent and, at the
+        // top, naturally produces infinity — the IEEE-correct behaviour.
+        out += 1;
+    }
+    sign | out as u16
+}
+
+/// Convert binary16 bits to `f32` (exact: every f16 is representable).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+
+    match exp {
+        0 => {
+            if mant == 0 {
+                f32::from_bits(sign)
+            } else {
+                // Subnormal: value = mant * 2^-24. Exact in f32.
+                let v = mant as f32 * (1.0 / 16_777_216.0);
+                if sign != 0 {
+                    -v
+                } else {
+                    v
+                }
+            }
+        }
+        0x1f => f32::from_bits(sign | 0x7f80_0000 | (mant << 13)),
+        _ => f32::from_bits(sign | ((exp + 112) << 23) | (mant << 13)),
+    }
+}
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Machine epsilon (2^-10) — the unit roundoff scale that drives the
+    /// MIX-fp16 row of Table II.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Round an `f32` to the nearest representable binary16.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        F16(f32_to_f16_bits(x))
+    }
+
+    /// Round an `f64` to the nearest representable binary16.
+    ///
+    /// Double rounding through f32 is harmless here: f32 has 13 more mantissa
+    /// bits than f16, so the f32 intermediate never sits exactly on an f16
+    /// rounding boundary unless the f64 did.
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        F16(f32_to_f16_bits(x as f32))
+    }
+
+    /// Widen to `f32` (exact).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Widen to `f64` (exact).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Build from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// `true` if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x03ff) != 0
+    }
+
+    /// `true` if the value is +/- infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7c00
+    }
+
+    /// `true` if the value is finite (neither infinite nor NaN).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7c00) != 0x7c00
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        F16(self.0 & 0x7fff)
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl From<F16> for f64 {
+    fn from(x: F16) -> f64 {
+        x.to_f64()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! f16_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            #[inline]
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+
+f16_binop!(Add, add, +);
+f16_binop!(Sub, sub, -);
+f16_binop!(Mul, mul, *);
+f16_binop!(Div, div, /);
+
+impl AddAssign for F16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: F16) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Cast a slice of `f64` to a freshly allocated vector of `F16`.
+pub fn cast_f64_slice(xs: &[f64]) -> Vec<F16> {
+    xs.iter().map(|&x| F16::from_f64(x)).collect()
+}
+
+/// Cast a slice of `f32` to a freshly allocated vector of `F16`.
+pub fn cast_f32_slice(xs: &[f32]) -> Vec<F16> {
+    xs.iter().map(|&x| F16::from_f32(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048i32..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3c00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xc000);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7bff);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert_eq!(F16::from_f32(1.0e5), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1.0e5), F16::NEG_INFINITY);
+        // 65520 is the first value that rounds up to infinity (midpoint,
+        // ties-to-even picks the "even" infinity side per IEEE).
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+        assert_eq!(F16::from_f32(65519.0).to_bits(), 0x7bff);
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_bits(), 0x0001);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)).to_bits(), 0x0000);
+        // Largest subnormal.
+        let lsd = 1023.0 * 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(lsd).to_bits(), 0x03ff);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even
+        // (mantissa 0 -> stays 1.0).
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(tie).to_bits(), 0x3c00);
+        // (1 + 2^-10) + 2^-11 is halfway between consecutive halves with odd
+        // low bit -> rounds up to even.
+        let tie2 = 1.0 + 2.0f32.powi(-10) + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(tie2).to_bits(), 0x3c02);
+    }
+
+    #[test]
+    fn nan_survives() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+        assert!(!F16::from_f32(1.0).is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::INFINITY.is_nan());
+    }
+
+    #[test]
+    fn arithmetic_goes_through_f32() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((-a).to_f32(), -1.5);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((b / a).to_f32(), 1.5);
+    }
+
+    #[test]
+    fn relative_error_bound_is_2_pow_minus_11() {
+        // Unit roundoff for RTNE binary16 is 2^-11 for normal values.
+        let mut worst: f64 = 0.0;
+        let mut x = 1.000001f32;
+        while x < 1000.0 {
+            let r = F16::from_f32(x).to_f32();
+            let rel = ((r - x) / x).abs() as f64;
+            worst = worst.max(rel);
+            x *= 1.01;
+        }
+        assert!(worst <= 2.0f64.powi(-11) + 1e-9, "worst rel err {worst}");
+        assert!(worst > 2.0f64.powi(-13), "sampling should see real rounding");
+    }
+
+    #[test]
+    fn every_f16_round_trips_through_f32_exactly() {
+        for bits in 0u16..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+}

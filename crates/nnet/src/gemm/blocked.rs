@@ -1,0 +1,116 @@
+//! Cache-blocked GEMM — the "vendor BLAS" stand-in.
+//!
+//! The original DeePMD-kit calls Fugaku BLAS (or OpenBLAS under the
+//! threadpool build) for every fitting-net GEMM. We stand in for those
+//! libraries with a classic three-level blocked kernel using the i-k-j loop
+//! order, which streams rows of `B` and keeps a block of `C` hot — good
+//! throughput at square-ish sizes, but it pays full blocking overhead when
+//! `m` is 1–3, which is precisely the regime where the paper's sve-gemm
+//! wins. Reproducing that crossover is the point of keeping both kernels.
+
+/// Block edge for the k dimension (sized so an f64 block of B fits in L1).
+const KC: usize = 256;
+/// Block edge for the n dimension.
+const NC: usize = 512;
+
+macro_rules! blocked_nn {
+    ($name:ident, $t:ty) => {
+        /// `C = A·B` with `A: m×k`, `B: k×n`, `C: m×n`, row-major, blocked
+        /// over (k, n) with an i-k-j inner order.
+        ///
+        /// # Panics
+        /// If any slice is shorter than its shape requires.
+        pub fn $name(m: usize, n: usize, k: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+            c[..m * n].fill(0.0);
+            let mut p0 = 0;
+            while p0 < k {
+                let pb = KC.min(k - p0);
+                let mut j0 = 0;
+                while j0 < n {
+                    let jb = NC.min(n - j0);
+                    for i in 0..m {
+                        let arow = &a[i * k + p0..i * k + p0 + pb];
+                        let crow = &mut c[i * n + j0..i * n + j0 + jb];
+                        for (dp, &av) in arow.iter().enumerate() {
+                            let brow = &b[(p0 + dp) * n + j0..(p0 + dp) * n + j0 + jb];
+                            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                *cv += av * bv;
+                            }
+                        }
+                    }
+                    j0 += jb;
+                }
+                p0 += pb;
+            }
+        }
+    };
+}
+
+macro_rules! blocked_nt {
+    ($name:ident, $t:ty) => {
+        /// `C = A·Bᵀ` with `A: m×k`, `B: n×k`, `C: m×n`, blocked over k.
+        ///
+        /// NT form: each output element is a dot product over contiguous rows
+        /// of both `A` and `B`; good locality but no row-level reuse of `C`,
+        /// which is why BLAS NT lags NN at small sizes (§III-B2).
+        ///
+        /// # Panics
+        /// If any slice is shorter than its shape requires.
+        pub fn $name(m: usize, n: usize, k: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc: $t = 0.0;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+        }
+    };
+}
+
+blocked_nn!(gemm_nn_f64, f64);
+blocked_nn!(gemm_nn_f32, f32);
+blocked_nt!(gemm_nt_f64, f64);
+blocked_nt!(gemm_nt_f32, f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive;
+
+    #[test]
+    fn blocked_handles_non_multiple_blocks() {
+        // Sizes straddling the block edges exercise the remainder handling.
+        for &(m, n, k) in &[(4, NC + 3, KC + 5), (1, 2 * NC, 2 * KC + 1), (7, 13, 300)] {
+            let a: Vec<f64> = (0..m * k).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| ((i * 53) % 7) as f64 - 3.0).collect();
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_blk = vec![0.0; m * n];
+            naive::gemm_nn_f64(m, n, k, &a, &b, &mut c_ref);
+            gemm_nn_f64(m, n, k, &a, &b, &mut c_blk);
+            for i in 0..m * n {
+                assert!((c_ref[i] - c_blk[i]).abs() < 1e-9, "mismatch at {i} for {m}x{n}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_agrees_with_naive() {
+        let (m, n, k) = (3, 17, 29);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32).cos()).collect();
+        let mut c_ref = vec![0.0; m * n];
+        let mut c_blk = vec![0.0; m * n];
+        naive::gemm_nt_f32(m, n, k, &a, &b, &mut c_ref);
+        gemm_nt_f32(m, n, k, &a, &b, &mut c_blk);
+        for i in 0..m * n {
+            assert!((c_ref[i] - c_blk[i]).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The **sve-gemm** tall-and-skinny kernel (§III-B2).
+//!
+//! In the strong-scaling limit each core evaluates one or two atoms, so the
+//! fitting-net GEMMs have `m ∈ {1, 2, 3}` against 240-wide parameter
+//! matrices. Generic BLAS wastes its blocking machinery there. The paper's
+//! kernel broadcasts each element `A[i][p]` against row `p` of `B` and fuses
+//! the products into the output row with SVE `svmla` — one streaming pass
+//! over `B`, the whole `C` row living in vector registers.
+//!
+//! This module reproduces that formulation in portable Rust. The inner loop
+//! is written over fixed-width 8-lane chunks (512 bits of f32, mirroring one
+//! SVE-512 vector) so LLVM reliably auto-vectorizes it; on x86-64 it compiles
+//! to FMA over YMM/ZMM, preserving the kernel's shape and its relative
+//! advantage at small `m`.
+
+use crate::f16::F16;
+
+/// Vector lanes of one simulated SVE-512 register holding f32.
+pub const LANES_F32: usize = 16;
+/// Vector lanes of one simulated SVE-512 register holding f64.
+pub const LANES_F64: usize = 8;
+
+macro_rules! sve_nn {
+    ($name:ident, $t:ty, $lanes:expr) => {
+        /// `C = A·B` via broadcast-row multiply-accumulate (`svmla` shape).
+        ///
+        /// Optimal for `m ≤ 3`; correct for any `m`.
+        ///
+        /// # Panics
+        /// If any slice is shorter than its shape requires.
+        pub fn $name(m: usize, n: usize, k: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+            const L: usize = $lanes;
+            for i in 0..m {
+                let crow = &mut c[i * n..(i + 1) * n];
+                crow.fill(0.0);
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    let brow = &b[p * n..(p + 1) * n];
+                    // Main vector body: exact chunks of one register width.
+                    let chunks = n / L;
+                    for ch in 0..chunks {
+                        let base = ch * L;
+                        // Fixed-size sub-slices let LLVM emit straight-line FMA.
+                        let cc: &mut [$t; L] =
+                            (&mut crow[base..base + L]).try_into().unwrap();
+                        let bb: &[$t; L] = (&brow[base..base + L]).try_into().unwrap();
+                        for l in 0..L {
+                            cc[l] += av * bb[l];
+                        }
+                    }
+                    // Predicated tail (the SVE whilelt remainder).
+                    for j in chunks * L..n {
+                        crow[j] += av * brow[j];
+                    }
+                }
+            }
+        }
+    };
+}
+
+macro_rules! sve_nt {
+    ($name:ident, $t:ty, $lanes:expr) => {
+        /// `C = A·Bᵀ` with `B: n×k` — per-element dot products.
+        ///
+        /// Kept for the ablation: the paper measures NT at roughly half the
+        /// NN rate for small matrices because each output element reduces a
+        /// separate dot product instead of fusing into a resident `C` row,
+        /// and then converts all NT calls to NN by pre-transposing the
+        /// parameters at startup.
+        ///
+        /// # Panics
+        /// If any slice is shorter than its shape requires.
+        pub fn $name(m: usize, n: usize, k: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
+            assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+            const L: usize = $lanes;
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let chunks = k / L;
+                    let mut lanes = [0.0 as $t; L];
+                    for ch in 0..chunks {
+                        let base = ch * L;
+                        let aa: &[$t; L] = (&arow[base..base + L]).try_into().unwrap();
+                        let bb: &[$t; L] = (&brow[base..base + L]).try_into().unwrap();
+                        for l in 0..L {
+                            lanes[l] += aa[l] * bb[l];
+                        }
+                    }
+                    let mut acc: $t = lanes.iter().sum();
+                    for p in chunks * L..k {
+                        acc += arow[p] * brow[p];
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+        }
+    };
+}
+
+sve_nn!(gemm_nn_f64, f64, LANES_F64);
+sve_nn!(gemm_nn_f32, f32, LANES_F32);
+sve_nt!(gemm_nt_f64, f64, LANES_F64);
+sve_nt!(gemm_nt_f32, f32, LANES_F32);
+
+/// `C = A·B` with `A`, `B` stored in binary16 and accumulation in f32 — the
+/// fp16-sve-gemm of the `MIX-fp16` precision path.
+///
+/// Numerically this is exactly what an fp16 tensor unit with an f32
+/// accumulator computes: inputs carry f16 rounding error, products and sums
+/// are f32. The widening loads stand in for SVE's `fcvt` on load.
+///
+/// # Panics
+/// If any slice is shorter than its shape requires.
+pub fn gemm_nn_f16(m: usize, n: usize, k: usize, a: &[F16], b: &[F16], c: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    const L: usize = LANES_F32;
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        crow.fill(0.0);
+        for p in 0..k {
+            let av = a[i * k + p].to_f32();
+            let brow = &b[p * n..(p + 1) * n];
+            let chunks = n / L;
+            for ch in 0..chunks {
+                let base = ch * L;
+                let cc: &mut [f32; L] = (&mut crow[base..base + L]).try_into().unwrap();
+                let bb: &[F16; L] = (&brow[base..base + L]).try_into().unwrap();
+                for l in 0..L {
+                    cc[l] += av * bb[l].to_f32();
+                }
+            }
+            for j in chunks * L..n {
+                crow[j] += av * brow[j].to_f32();
+            }
+        }
+    }
+}
+
+/// `C = A·Bᵀ` in fp16 storage with f32 accumulation (`B: n×k`).
+///
+/// # Panics
+/// If any slice is shorter than its shape requires.
+pub fn gemm_nt_f16(m: usize, n: usize, k: usize, a: &[F16], b: &[F16], c: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p].to_f32() * b[j * k + p].to_f32();
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive;
+
+    #[test]
+    fn tall_skinny_shapes_match_reference() {
+        // The exact shapes of the strong-scaling fitting net: m in 1..=3,
+        // 240-wide layers, plus awkward tails that exercise the remainder.
+        for &(m, n, k) in &[(1, 240, 240), (2, 240, 240), (3, 240, 240), (1, 241, 239), (3, 7, 5)] {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i % 17) as f32 - 8.0) * 0.05).collect();
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_sve = vec![0.0; m * n];
+            naive::gemm_nn_f32(m, n, k, &a, &b, &mut c_ref);
+            gemm_nn_f32(m, n, k, &a, &b, &mut c_sve);
+            for i in 0..m * n {
+                assert!((c_ref[i] - c_sve[i]).abs() < 1e-3, "{m}x{n}x{k} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_zero_inputs_give_zero() {
+        let a = vec![F16::ZERO; 2 * 4];
+        let b = vec![F16::ZERO; 4 * 6];
+        let mut c = vec![1.0f32; 2 * 6];
+        gemm_nn_f16(2, 6, 4, &a, &b, &mut c);
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fp16_exact_on_small_integers() {
+        // Small integers are exact in f16, so the kernel must be exact too.
+        let a: Vec<F16> = [1.0f32, 2.0, 3.0, 4.0].iter().map(|&x| F16::from_f32(x)).collect();
+        let b: Vec<F16> = [5.0f32, 6.0, 7.0, 8.0].iter().map(|&x| F16::from_f32(x)).collect();
+        let mut c = vec![0.0f32; 4];
+        gemm_nn_f16(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+        let mut cnt = vec![0.0f32; 4];
+        // B as 2x2 rows [[5,6],[7,8]] -> A·Bᵀ = [[17,23],[39,53]]
+        gemm_nt_f16(2, 2, 2, &a, &b, &mut cnt);
+        assert_eq!(cnt, [17.0, 23.0, 39.0, 53.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic weight initialization and model I/O.
+//!
+//! The original DeePMD-kit keeps TensorFlow around *solely* to load trained
+//! model parameters (§III-B1: "we retain the TensorFlow library solely for
+//! loading model parameters"). The analog here is a plain JSON checkpoint
+//! format readable without the graph runtime.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::layers::{Dense, Mlp, Resnet};
+use crate::matrix::Matrix;
+
+/// Serializable checkpoint for one dense layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayerCheckpoint {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    /// Row-major `in_dim × out_dim` weights.
+    pub weights: Vec<f64>,
+    /// Bias of length `out_dim`.
+    pub bias: Vec<f64>,
+    /// Activation function.
+    pub act: Activation,
+    /// Residual style.
+    pub resnet: Resnet,
+}
+
+/// Serializable checkpoint for a whole MLP.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MlpCheckpoint {
+    /// Layers in application order.
+    pub layers: Vec<LayerCheckpoint>,
+}
+
+impl From<&Mlp> for MlpCheckpoint {
+    fn from(mlp: &Mlp) -> Self {
+        MlpCheckpoint {
+            layers: mlp
+                .layers
+                .iter()
+                .map(|l| LayerCheckpoint {
+                    in_dim: l.in_dim(),
+                    out_dim: l.out_dim(),
+                    weights: l.w.as_slice().to_vec(),
+                    bias: l.b.clone(),
+                    act: l.act,
+                    resnet: l.resnet,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl MlpCheckpoint {
+    /// Reconstruct the MLP.
+    ///
+    /// # Panics
+    /// If a layer's buffer lengths don't match its declared shape.
+    pub fn restore(&self) -> Mlp {
+        Mlp::new(
+            self.layers
+                .iter()
+                .map(|l| Dense {
+                    w: Matrix::from_vec(l.in_dim, l.out_dim, l.weights.clone()),
+                    b: l.bias.clone(),
+                    act: l.act,
+                    resnet: l.resnet,
+                })
+                .collect(),
+        )
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Build an MLP with the given hidden widths, Xavier-initialized from `seed`.
+///
+/// `resnet_policy` decides each hidden layer's skip from its (in, out) pair —
+/// DeePMD convention: identity when `out == in`, doubling when `out == 2·in`,
+/// plain otherwise. The final layer is linear with no skip.
+pub fn build_mlp(in_dim: usize, hidden: &[usize], out_dim: usize, act: Activation, seed: u64) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = Vec::with_capacity(hidden.len() + 1);
+    let mut prev = in_dim;
+    for &h in hidden {
+        let resnet = if h == prev {
+            Resnet::Identity
+        } else if h == 2 * prev {
+            Resnet::Doubling
+        } else {
+            Resnet::None
+        };
+        layers.push(Dense::xavier(prev, h, act, resnet, &mut rng));
+        prev = h;
+    }
+    layers.push(Dense::xavier(prev, out_dim, Activation::Linear, Resnet::None, &mut rng));
+    Mlp::new(layers)
+}
+
+/// Draw a standard-normal sample via Box–Muller (keeps the dependency set to
+/// plain `rand`).
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let v = r * (2.0 * std::f64::consts::PI * u2).cos();
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_mlp_applies_deepmd_resnet_policy() {
+        let mlp = build_mlp(1, &[25, 50, 100], 4, Activation::Tanh, 1);
+        assert_eq!(mlp.layers[0].resnet, Resnet::None); // 1 -> 25
+        assert_eq!(mlp.layers[1].resnet, Resnet::Doubling); // 25 -> 50
+        assert_eq!(mlp.layers[2].resnet, Resnet::Doubling); // 50 -> 100
+        assert_eq!(mlp.layers[3].resnet, Resnet::None); // output
+        assert_eq!(mlp.layers[3].act, Activation::Linear);
+
+        let fitting = build_mlp(64, &[240, 240, 240], 1, Activation::Tanh, 2);
+        assert_eq!(fitting.layers[1].resnet, Resnet::Identity);
+        assert_eq!(fitting.layers[2].resnet, Resnet::Identity);
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = build_mlp(2, &[8], 1, Activation::Tanh, 7);
+        let b = build_mlp(2, &[8], 1, Activation::Tanh, 7);
+        assert_eq!(a.layers[0].w, b.layers[0].w);
+        let c = build_mlp(2, &[8], 1, Activation::Tanh, 8);
+        assert_ne!(a.layers[0].w, c.layers[0].w);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly() {
+        let mlp = build_mlp(3, &[6, 6], 2, Activation::Tanh, 42);
+        let ckpt = MlpCheckpoint::from(&mlp);
+        let json = ckpt.to_json();
+        let back = MlpCheckpoint::from_json(&json).unwrap().restore();
+        let x = Matrix::from_fn(4, 3, |r, c| (r + c) as f64 * 0.1);
+        assert_eq!(mlp.forward_infer(&x), back.forward_infer(&x));
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # nnet — neural-network substrate
+//!
+//! A from-scratch neural-network substrate for the DeePMD reproduction:
+//!
+//! * [`f16`] — software IEEE 754 binary16 with round-to-nearest-even, the
+//!   storage type of the paper's fp16 fitting-net GEMM;
+//! * [`matrix`] — a dense row-major matrix over [`Scalar`] element types;
+//! * [`gemm`] — GEMM kernels: a naive reference, a cache-blocked "BLAS-like"
+//!   kernel, and the paper's tall-and-skinny **sve-gemm** specialization
+//!   (M ≤ 3) in NN and NT forms, plus an fp16-storage/fp32-accumulate kernel;
+//! * [`activation`] — activations used by Deep Potential (tanh and friends);
+//! * [`layers`] — fully connected layers with analytic backward passes;
+//! * [`graph`] — a small computation-graph runtime standing in for the
+//!   TensorFlow 2.2 baseline (sessions, per-run scheduling overhead, autodiff
+//!   that materializes redundant gradient kernels);
+//! * [`direct`] — the "TensorFlow removed" execution path: preallocated
+//!   workspaces, fused kernels, zero framework overhead;
+//! * [`init`] — deterministic weight initialization and JSON model I/O.
+//!
+//! The crate is deliberately dependency-light and deterministic: every random
+//! draw is seeded, so experiments are reproducible bit-for-bit at a given
+//! precision.
+
+pub mod activation;
+pub mod direct;
+pub mod f16;
+pub mod fuse;
+pub mod gemm;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod matrix;
+pub mod precision;
+
+pub use f16::F16;
+pub use matrix::{Matrix, Scalar};
+pub use precision::Precision;

@@ -1,0 +1,199 @@
+//! Ablation studies over the design choices DESIGN.md calls out — not
+//! figures from the paper, but the sensitivity sweeps a reviewer would ask
+//! for: how much each machine feature contributes to the node scheme's win.
+
+use fugaku::machine::MachineConfig;
+use fugaku::tni::TniDriving;
+use fugaku::tofu::Torus3d;
+use minimd::domain::Decomposition;
+
+use dpmd_comm::node_based::{self, NodeSchemeConfig};
+use dpmd_comm::plan::HaloPlan;
+use dpmd_comm::three_stage;
+use fugaku::utofu::CommApi;
+
+use crate::report::{us, Table};
+
+/// Build the strong-scaling 96-node configuration shared by the ablations.
+fn strong_scaling_setup(
+    machine: &MachineConfig,
+) -> (Decomposition, Torus3d, HaloPlan, Vec<usize>, f64) {
+    let _ = machine;
+    let rc = 8.0;
+    let nodes = MachineConfig::paper_96_node_topology();
+    let bx = minimd::simbox::SimBox::new(
+        0.5 * rc * 2.0 * nodes[0] as f64,
+        0.5 * rc * 2.0 * nodes[1] as f64,
+        0.5 * rc * nodes[2] as f64,
+    );
+    let cells = [
+        (bx.lengths().x / 3.615).round() as usize,
+        (bx.lengths().y / 3.615).round() as usize,
+        (bx.lengths().z / 3.615).round() as usize,
+    ];
+    let (_, mut atoms) = minimd::lattice::fcc_lattice(cells[0], cells[1], cells[2], 3.615);
+    let s = [
+        bx.lengths().x / (cells[0] as f64 * 3.615),
+        bx.lengths().y / (cells[1] as f64 * 3.615),
+        bx.lengths().z / (cells[2] as f64 * 3.615),
+    ];
+    for p in &mut atoms.pos {
+        p.x *= s[0];
+        p.y *= s[1];
+        p.z *= s[2];
+        *p = bx.wrap(*p);
+    }
+    let decomp = Decomposition::new(bx, nodes);
+    let torus = Torus3d::new(nodes);
+    let plan = HaloPlan::build(&decomp, &atoms, rc);
+    let apr: Vec<usize> = decomp.counts_per_rank(&atoms).into_iter().map(|c| c as usize).collect();
+    let density = atoms.nlocal as f64 / bx.volume();
+    (decomp, torus, plan, apr, density)
+}
+
+/// Ablation 1: node-scheme time vs number of TNIs per node (1..=6).
+/// Quantifies how much of the win comes from the six RDMA engines.
+pub fn tni_sweep() -> Vec<(usize, u64)> {
+    let base = MachineConfig::default();
+    let (decomp, torus, plan, apr, _) = strong_scaling_setup(&base);
+    (1..=6)
+        .map(|tnis| {
+            let mut m = base;
+            m.tofu.tnis_per_node = tnis;
+            let t = node_based::simulate(&m, &decomp, &torus, &plan, &apr, NodeSchemeConfig::paper_best())
+                .comm
+                .total_ns;
+            (tnis, t)
+        })
+        .collect()
+}
+
+/// Ablation 2: node-scheme time vs intra-node sync latency (the cost the
+/// scheme pays twice per exchange) — how sensitive the 81% claim is to the
+/// barrier implementation.
+pub fn sync_latency_sweep() -> Vec<(u64, u64, f64)> {
+    let base = MachineConfig::default();
+    let (decomp, torus, plan, apr, density) = strong_scaling_setup(&base);
+    [0u64, 400, 800, 1600, 3200, 6400]
+        .into_iter()
+        .map(|sync_ns| {
+            let mut m = base;
+            m.chip.sync_latency_ns = sync_ns as f64;
+            let node =
+                node_based::simulate(&m, &decomp, &torus, &plan, &apr, NodeSchemeConfig::paper_best())
+                    .comm
+                    .total_ns;
+            let baseline =
+                three_stage::simulate(&m, &decomp, &torus, 8.0, density, CommApi::Mpi).total_ns;
+            (sync_ns, node, 1.0 - node as f64 / baseline as f64)
+        })
+        .collect()
+}
+
+/// Ablation 3: NIC cache capacity vs the Fig. 8 knee position — the design
+/// margin of the RDMA memory pool.
+pub fn nic_cache_sweep() -> Vec<(usize, Option<usize>)> {
+    [16usize, 32, 64, 88, 128, 256]
+        .into_iter()
+        .map(|entries| {
+            let mut m = MachineConfig::default();
+            m.nic_cache_entries = entries;
+            let pts = super::fig8::run(&m, 200);
+            (entries, super::fig8::knee(&pts))
+        })
+        .collect()
+}
+
+/// Ablation 4: single- vs multi-thread TNI driving across leader counts —
+/// the full 2×3 grid behind Fig. 7's lb/sg bars.
+pub fn driving_grid() -> Vec<(usize, TniDriving, u64)> {
+    let machine = MachineConfig::default();
+    let (decomp, torus, plan, apr, _) = strong_scaling_setup(&machine);
+    let mut out = Vec::new();
+    for leaders in [1usize, 2, 4] {
+        for driving in [TniDriving::SingleThread, TniDriving::ThreadPerTni] {
+            let cfg = NodeSchemeConfig { leaders, driving, lb_broadcast: true };
+            let t = node_based::simulate(&machine, &decomp, &torus, &plan, &apr, cfg).comm.total_ns;
+            out.push((leaders, driving, t));
+        }
+    }
+    out
+}
+
+/// Render all ablations as one report.
+pub fn table() -> Table {
+    let mut t = Table::new("Ablations — design-choice sensitivity", &["ablation", "setting", "result"]);
+    for (tnis, ns) in tni_sweep() {
+        t.row(vec!["TNIs/node".into(), tnis.to_string(), us(ns as f64)]);
+    }
+    for (sync, ns, red) in sync_latency_sweep() {
+        t.row(vec![
+            "sync latency".into(),
+            format!("{sync} ns"),
+            format!("{} ({:.0}% vs MPI)", us(ns as f64), red * 100.0),
+        ]);
+    }
+    for (entries, knee) in nic_cache_sweep() {
+        t.row(vec![
+            "NIC cache entries".into(),
+            entries.to_string(),
+            knee.map_or("no knee ≤ 124".into(), |k| format!("knee at {k}")),
+        ]);
+    }
+    for (leaders, driving, ns) in driving_grid() {
+        t.row(vec![
+            "leaders × driving".into(),
+            format!("{leaders} × {driving:?}"),
+            us(ns as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_tnis_never_hurt_and_help_overall() {
+        let sweep = tni_sweep();
+        for w in sweep.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1000, "TNI {} slower than {}: {:?}", w[1].0, w[0].0, sweep);
+        }
+        assert!(
+            sweep[0].1 > sweep[5].1,
+            "6 TNIs must beat 1: {:?}",
+            sweep
+        );
+    }
+
+    #[test]
+    fn sync_latency_eats_the_comm_reduction() {
+        let sweep = sync_latency_sweep();
+        // Node time grows monotonically with sync cost; the reduction vs
+        // the (sync-free) baseline shrinks.
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{sweep:?}");
+        }
+        assert!(sweep[0].2 > sweep[5].2, "reduction must shrink with sync cost");
+    }
+
+    #[test]
+    fn nic_cache_capacity_moves_the_knee() {
+        let sweep = nic_cache_sweep();
+        // Small caches knee early; at 256 entries (≥ 2×124) no knee at all.
+        let small = sweep[0].1.expect("16-entry cache must knee");
+        let large = sweep.last().unwrap().1;
+        assert!(small <= 16, "knee at {small} for 16 entries");
+        assert!(large.is_none(), "256 entries must cover 124 neighbours: {large:?}");
+    }
+
+    #[test]
+    fn thread_per_tni_wins_at_every_leader_count() {
+        for chunk in driving_grid().chunks(2) {
+            let (single, multi) = (&chunk[0], &chunk[1]);
+            assert_eq!(single.1, TniDriving::SingleThread);
+            assert!(multi.2 <= single.2, "leaders {}: {:?}", single.0, chunk);
+        }
+    }
+}

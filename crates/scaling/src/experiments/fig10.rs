@@ -1,0 +1,108 @@
+//! Fig. 10 — the distribution of pair time across MPI ranks, load-balanced
+//! vs not, at {1, 2, 8} atoms/core.
+
+use dpmd_balance::pair_time::PairTimeModel;
+
+use crate::report::{f, Table};
+
+/// A pair-time distribution rendered as percentiles.
+#[derive(Clone, Debug)]
+pub struct Fig10Series {
+    /// Atoms per core.
+    pub atoms_per_core: usize,
+    /// Load balance on?
+    pub lb: bool,
+    /// (p5, p25, p50, p75, p95, max) of per-rank pair time, ns.
+    pub percentiles: [f64; 6],
+    /// SDMR of the full distribution, percent (the paper's metric).
+    pub sdmr: f64,
+}
+
+fn percentiles(mut xs: Vec<f64>) -> [f64; 6] {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |q: f64| xs[((xs.len() - 1) as f64 * q).round() as usize];
+    [pick(0.05), pick(0.25), pick(0.50), pick(0.75), pick(0.95), *xs.last().unwrap()]
+}
+
+/// Run the figure from the same configurations as Table III.
+pub fn run(seed: u64) -> Vec<Fig10Series> {
+    let model = PairTimeModel::new(500_000.0);
+    let mut out = Vec::new();
+    for (apc, apr) in [(1usize, 12usize), (2, 24), (8, 96)] {
+        let (decomp, atoms) = super::table3::build_public(apr, seed ^ apr as u64);
+        let counts = decomp.counts_per_rank(&atoms);
+        let t_nolb = model.rank_times_nolb(&counts, seed);
+        let t_lb = model.rank_times_lb(&decomp, &counts, seed);
+        out.push(Fig10Series {
+            atoms_per_core: apc,
+            lb: false,
+            sdmr: dpmd_balance::stats::sdmr(&t_nolb),
+            percentiles: percentiles(t_nolb),
+        });
+        out.push(Fig10Series {
+            atoms_per_core: apc,
+            lb: true,
+            sdmr: dpmd_balance::stats::sdmr(&t_lb),
+            percentiles: percentiles(t_lb),
+        });
+    }
+    out
+}
+
+/// Render the distribution table.
+pub fn table(series: &[Fig10Series]) -> Table {
+    let mut t = Table::new(
+        "Fig. 10 — pair-time distribution across ranks (ms)",
+        &["series", "p5", "p25", "p50", "p75", "p95", "max"],
+    );
+    for s in series {
+        let name = format!("{}{}", if s.lb { "lb-" } else { "nolb-" }, s.atoms_per_core);
+        let mut cells = vec![name];
+        cells.extend(s.percentiles.iter().map(|&x| f(x / 1e6, 2)));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb_narrows_the_distribution() {
+        // The paper's metric is SDMR (max − min stays discretized at the
+        // 1-vs-2-atoms-per-thread boundary even after lb — Table III shows
+        // the busiest thread still holds 2 atoms at 1 atom/core).
+        let series = run(42);
+        for pair in series.chunks(2) {
+            let (no, yes) = (&pair[0], &pair[1]);
+            assert!(
+                yes.sdmr < no.sdmr,
+                "apc {}: SDMR {} vs {}",
+                no.atoms_per_core,
+                yes.sdmr,
+                no.sdmr
+            );
+        }
+    }
+
+    #[test]
+    fn relative_imbalance_shrinks_with_atoms_per_core() {
+        // Fig. 10: the 8 atoms/core distributions are much tighter in
+        // relative terms than the 1 atom/core ones.
+        let series = run(42);
+        let rel = |s: &Fig10Series| (s.percentiles[5] - s.percentiles[0]) / s.percentiles[2];
+        let one = rel(&series[0]);
+        let eight = rel(&series[4]);
+        assert!(eight < one, "{eight} vs {one}");
+    }
+
+    #[test]
+    fn percentiles_are_sorted() {
+        for s in run(1) {
+            for w in s.percentiles.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Fig. 11 — strong scaling of the 0.54 M copper and 0.56 M water systems
+//! from 768 to 12,000 nodes: ns/day, parallel efficiency, and the headline
+//! speedup over the baseline DeePMD-kit (149 ns/day and 31.7× for copper;
+//! 68.5 ns/day and 32.6× for water in the paper).
+
+use fugaku::machine::MachineConfig;
+use fugaku::tofu::Torus3d;
+use minimd::domain::Decomposition;
+
+use dpmd_comm::plan::HaloPlan;
+
+use crate::kernels::OptLevel;
+use crate::report::{f, speedup, Table};
+use crate::step_model::StepModel;
+use crate::systems::{Benchmark, SystemSpec};
+
+/// One scaling point.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Average atoms per core.
+    pub atoms_per_core: f64,
+    /// Optimized (comm_lb) ns/day.
+    pub nsday_opt: f64,
+    /// Baseline ns/day.
+    pub nsday_base: f64,
+    /// Optimized per-step time, ns.
+    pub step_ns_opt: f64,
+}
+
+/// One system's scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalingCurve {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Points per topology, 768 → 12,000 nodes.
+    pub points: Vec<ScalePoint>,
+}
+
+impl ScalingCurve {
+    /// Parallel efficiency of point `i` relative to the first point.
+    pub fn efficiency(&self, i: usize) -> f64 {
+        let p0 = &self.points[0];
+        let p = &self.points[i];
+        (p.nsday_opt / p0.nsday_opt) / (p.nodes as f64 / p0.nodes as f64)
+    }
+
+    /// The end-point speedup over baseline (the paper's 31.7× / 32.6×).
+    pub fn final_speedup(&self) -> f64 {
+        let p = self.points.last().expect("curve has points");
+        p.nsday_opt / p.nsday_base
+    }
+}
+
+/// Run the strong-scaling sweep for one system, optionally restricted to
+/// the first `max_points` topologies (the full 12,000-node plan build is
+/// expensive; tests pass a smaller count).
+pub fn run(spec: SystemSpec, max_points: usize) -> ScalingCurve {
+    let model = StepModel::new(spec);
+    let (bx, atoms) = spec.build_full(1);
+    let mut points = Vec::new();
+    for dims in MachineConfig::paper_scaling_topologies().into_iter().take(max_points) {
+        let decomp = Decomposition::new(bx, dims);
+        let torus = Torus3d::new(dims);
+        let counts = decomp.counts_per_rank(&atoms);
+        let plan = HaloPlan::build(&decomp, &atoms, spec.rcut);
+        let opt = model.evaluate_with(&decomp, &torus, &counts, &plan, OptLevel::CommLb);
+        let base = model.evaluate_with(&decomp, &torus, &counts, &plan, OptLevel::Baseline);
+        points.push(ScalePoint {
+            nodes: decomp.num_nodes(),
+            atoms_per_core: spec.atoms_per_core(decomp.num_nodes()),
+            nsday_opt: opt.ns_per_day(spec.timestep_fs),
+            nsday_base: base.ns_per_day(spec.timestep_fs),
+            step_ns_opt: opt.total_ns(),
+        });
+    }
+    ScalingCurve { benchmark: spec.benchmark, points }
+}
+
+/// Render the scaling table.
+pub fn table(curve: &ScalingCurve) -> Table {
+    let mut t = Table::new(
+        &format!("Fig. 11 — strong scaling, {:?}", curve.benchmark),
+        &["nodes", "atoms/core", "ns/day (opt)", "ns/day (base)", "speedup", "efficiency"],
+    );
+    for (i, p) in curve.points.iter().enumerate() {
+        t.row(vec![
+            p.nodes.to_string(),
+            f(p.atoms_per_core, 3),
+            f(p.nsday_opt, 1),
+            f(p.nsday_base, 2),
+            speedup(p.nsday_opt / p.nsday_base),
+            format!("{:.1}%", curve.efficiency(i) * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_curve_shape_two_points() {
+        // Two topologies keep test time modest; the full sweep runs in the
+        // bench harness.
+        let curve = run(SystemSpec::copper(), 2);
+        assert_eq!(curve.points[0].nodes, 768);
+        assert_eq!(curve.points[1].nodes, 2160);
+        // More nodes ⇒ more ns/day, at sub-linear efficiency.
+        assert!(curve.points[1].nsday_opt > curve.points[0].nsday_opt);
+        let eff = curve.efficiency(1);
+        assert!((0.25..1.0).contains(&eff), "efficiency {eff}");
+        // Strong-scaling speedup over baseline is already large at 768.
+        let sp = curve.points[0].nsday_opt / curve.points[0].nsday_base;
+        assert!(sp > 5.0, "speedup {sp}");
+    }
+
+    #[test]
+    fn nsday_is_headed_toward_the_paper_magnitude() {
+        // At 768 nodes (~14.6 atoms/core) the model should already deliver
+        // tens of ns/day for copper; the 149 ns/day endpoint is asserted in
+        // the integration suite where the full sweep runs in release mode.
+        let curve = run(SystemSpec::copper(), 1);
+        let p = &curve.points[0];
+        assert!(p.nsday_opt > 5.0 && p.nsday_opt < 200.0, "ns/day {}", p.nsday_opt);
+    }
+}

@@ -1,0 +1,221 @@
+//! Fig. 7 — step-by-step communication results on 96 nodes.
+//!
+//! Eight bars per configuration: the MPI 3-stage baseline, 3-stage and p2p
+//! over uTofu, the node-based scheme with 1/2/4 leaders, the single-thread
+//! variant (`sg-lb-4l`) and the original-layout variant (`ref-4l`); swept
+//! over cutoff radii {8, 10} Å and sub-box sides {[1,1,1], [0.5,0.5,1],
+//! [0.5,0.5,0.5]}·r_c, on the paper's 4×6×4 topology.
+
+use fugaku::machine::MachineConfig;
+use fugaku::tni::TniDriving;
+use fugaku::tofu::Torus3d;
+use fugaku::utofu::CommApi;
+use minimd::atoms::Atoms;
+use minimd::domain::Decomposition;
+use minimd::lattice::fcc_lattice;
+use minimd::simbox::SimBox;
+
+use dpmd_comm::node_based::{self, NodeSchemeConfig};
+use dpmd_comm::plan::HaloPlan;
+use dpmd_comm::{p2p, three_stage};
+
+use crate::report::{us, Table};
+
+/// The eight bars of the figure.
+pub const BARS: [&str; 8] =
+    ["baseline", "3stage-utofu", "p2p-utofu", "lb-1l", "lb-2l", "lb-4l", "sg-lb-4l", "ref-4l"];
+
+/// One configuration's simulated times (ns per halo exchange), bar order.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Cutoff radius, Å.
+    pub rc: f64,
+    /// Sub-box side as a fraction of r_c per axis.
+    pub frac: [f64; 3],
+    /// Times per bar, ns.
+    pub times: [u64; 8],
+}
+
+/// Build a uniform copper-density configuration matching a sub-box spec.
+fn build(frac: [f64; 3], rc: f64, nodes: [usize; 3]) -> (Decomposition, Torus3d, Atoms) {
+    let bx = SimBox::new(
+        frac[0] * rc * 2.0 * nodes[0] as f64,
+        frac[1] * rc * 2.0 * nodes[1] as f64,
+        frac[2] * rc * nodes[2] as f64,
+    );
+    let a = 3.615;
+    let cells = [
+        (bx.lengths().x / a).round().max(1.0) as usize,
+        (bx.lengths().y / a).round().max(1.0) as usize,
+        (bx.lengths().z / a).round().max(1.0) as usize,
+    ];
+    let (_, mut atoms) = fcc_lattice(cells[0], cells[1], cells[2], a);
+    let s = [
+        bx.lengths().x / (cells[0] as f64 * a),
+        bx.lengths().y / (cells[1] as f64 * a),
+        bx.lengths().z / (cells[2] as f64 * a),
+    ];
+    for p in &mut atoms.pos {
+        p.x *= s[0];
+        p.y *= s[1];
+        p.z *= s[2];
+        *p = bx.wrap(*p);
+    }
+    (Decomposition::new(bx, nodes), Torus3d::new(nodes), atoms)
+}
+
+/// Simulate one configuration's eight bars.
+pub fn run_config(machine: &MachineConfig, rc: f64, frac: [f64; 3]) -> Fig7Row {
+    let nodes = MachineConfig::paper_96_node_topology();
+    let (decomp, torus, atoms) = build(frac, rc, nodes);
+    let density = atoms.nlocal as f64 / decomp.bx.volume();
+    let plan = HaloPlan::build(&decomp, &atoms, rc);
+    let apr: Vec<usize> = decomp.counts_per_rank(&atoms).into_iter().map(|c| c as usize).collect();
+
+    let node_cfg = |leaders, driving, lb| NodeSchemeConfig { leaders, driving, lb_broadcast: lb };
+    let nb = |cfg| node_based::simulate(machine, &decomp, &torus, &plan, &apr, cfg).comm.total_ns;
+
+    let times = [
+        three_stage::simulate(machine, &decomp, &torus, rc, density, CommApi::Mpi).total_ns,
+        three_stage::simulate(machine, &decomp, &torus, rc, density, CommApi::Utofu).total_ns,
+        p2p::simulate(machine, &decomp, &torus, &plan, CommApi::Utofu).total_ns,
+        nb(node_cfg(1, TniDriving::ThreadPerTni, true)),
+        nb(node_cfg(2, TniDriving::ThreadPerTni, true)),
+        nb(node_cfg(4, TniDriving::ThreadPerTni, true)),
+        nb(node_cfg(4, TniDriving::SingleThread, true)),
+        nb(node_cfg(4, TniDriving::ThreadPerTni, false)),
+    ];
+    Fig7Row { rc, frac, times }
+}
+
+/// The full figure: both cutoffs, all three box configurations.
+pub fn run(machine: &MachineConfig) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for rc in [8.0, 10.0] {
+        for frac in [[1.0, 1.0, 1.0], [0.5, 0.5, 1.0], [0.5, 0.5, 0.5]] {
+            rows.push(run_config(machine, rc, frac));
+        }
+    }
+    rows
+}
+
+/// Render as the paper-shaped table.
+pub fn table(rows: &[Fig7Row]) -> Table {
+    let mut headers = vec!["rc (Å)".to_string(), "sub-box (×rc)".to_string()];
+    headers.extend(BARS.iter().map(|s| s.to_string()));
+    let mut t = Table::new(
+        "Fig. 7 — halo-exchange time on 96 nodes (4x6x4)",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for r in rows {
+        let mut cells = vec![
+            format!("{:.0}", r.rc),
+            format!("[{},{},{}]", r.frac[0], r.frac[1], r.frac[2]),
+        ];
+        cells.extend(r.times.iter().map(|&ns| us(ns as f64)));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_holds_at_both_cutoffs() {
+        let machine = MachineConfig::default();
+        for rc in [8.0, 10.0] {
+            // [1,1,1]·rc: bandwidth-dominated — the node scheme's edge
+            // collapses to (near) nothing: the paper has it slightly losing
+            // to 3stage-utofu/p2p here; our model has it within ~25% of the
+            // best alternative (documented deviation in EXPERIMENTS.md).
+            let big = run_config(&machine, rc, [1.0, 1.0, 1.0]);
+            let best_alt = big.times[1].min(big.times[2]) as f64;
+            let lb4 = big.times[5] as f64;
+            let advantage_big = best_alt / lb4;
+            assert!(
+                advantage_big < 1.25,
+                "rc={rc}: node advantage must collapse at [1,1,1]: {:?}",
+                big.times
+            );
+            // [0.5,0.5,0.5]·rc: latency-dominated — node scheme wins big.
+            let small = run_config(&machine, rc, [0.5, 0.5, 0.5]);
+            let best_alt_s = small.times[1].min(small.times[2]) as f64;
+            let advantage_small = best_alt_s / small.times[5] as f64;
+            assert!(
+                small.times[5] < small.times[1] && small.times[5] < small.times[2],
+                "rc={rc}: node scheme must win at [0.5,0.5,0.5]: {:?}",
+                small.times
+            );
+            assert!(
+                advantage_small > advantage_big,
+                "rc={rc}: crossover direction: {advantage_small:.2} vs {advantage_big:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn leader_ordering_and_variants() {
+        let machine = MachineConfig::default();
+        let row = run_config(&machine, 8.0, [0.5, 0.5, 0.5]);
+        let [_, _, _, lb1, lb2, lb4, sg, refv] = row.times;
+        assert!(lb4 <= lb2 && lb2 <= lb1, "leader ordering {:?}", row.times);
+        assert!(sg > lb4, "single-thread driving must cost");
+        // ref-4l (no broadcast) within a modest delta of lb-4l.
+        let delta = (refv as f64 - lb4 as f64).abs() / lb4 as f64;
+        assert!(delta < 0.3, "broadcast delta {delta}");
+    }
+
+    #[test]
+    fn node_scheme_cuts_strong_scaling_comm_by_most_of_the_paper_81_percent() {
+        let machine = MachineConfig::default();
+        let row = run_config(&machine, 8.0, [0.5, 0.5, 0.5]);
+        let reduction = 1.0 - row.times[5] as f64 / row.times[0] as f64;
+        assert!(
+            (0.55..=0.95).contains(&reduction),
+            "comm reduction {reduction:.2} vs paper's 0.81"
+        );
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let machine = MachineConfig::default();
+        let rows = vec![run_config(&machine, 8.0, [1.0, 1.0, 1.0])];
+        let t = table(&rows);
+        assert!(t.render().contains("lb-4l"));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use dpmd_comm::node_based;
+    use fugaku::tni::TniDriving;
+
+    #[test]
+    #[ignore]
+    fn dump_components() {
+        let machine = MachineConfig::default();
+        for frac in [[1.0, 1.0, 1.0], [0.5, 0.5, 0.5]] {
+            let nodes = MachineConfig::paper_96_node_topology();
+            let (decomp, torus, atoms) = build(frac, 8.0, nodes);
+            let plan = HaloPlan::build(&decomp, &atoms, 8.0);
+            let apr: Vec<usize> =
+                decomp.counts_per_rank(&atoms).into_iter().map(|c| c as usize).collect();
+            let sends = plan.node_sends(0);
+            let total_bytes: usize = sends.iter().map(|(_, b)| b).sum();
+            println!(
+                "frac {frac:?}: node sends {} msgs, {} bytes total, rank locals ~{}",
+                sends.len(),
+                total_bytes,
+                apr[0]
+            );
+            let r = node_based::simulate(
+                &machine, &decomp, &torus, &plan, &apr,
+                NodeSchemeConfig { leaders: 4, driving: TniDriving::ThreadPerTni, lb_broadcast: true },
+            );
+            println!("  node total {} ns, noc_bytes {}", r.comm.total_ns, r.noc_bytes);
+        }
+    }
+}

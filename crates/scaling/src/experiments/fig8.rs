@@ -1,0 +1,86 @@
+//! Fig. 8 — communication time vs neighbour count over 10 k iterations
+//! with 8-byte payloads: RDMA memory pool vs per-neighbour registration.
+
+use dpmd_comm::mempool;
+use fugaku::machine::MachineConfig;
+
+use crate::report::{f, Table};
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Point {
+    /// Neighbour count.
+    pub neighbors: usize,
+    /// Memory-pool time, ns.
+    pub pool_ns: u64,
+    /// Per-neighbour-registration time, ns.
+    pub per_neighbor_ns: u64,
+}
+
+/// Run the sweep (paper: 10,000 iterations).
+pub fn run(machine: &MachineConfig, iterations: usize) -> Vec<Fig8Point> {
+    mempool::figure8_sweep(machine, iterations)
+        .into_iter()
+        .map(|(n, pool, per)| Fig8Point { neighbors: n, pool_ns: pool, per_neighbor_ns: per })
+        .collect()
+}
+
+/// Render as a two-series table.
+pub fn table(points: &[Fig8Point]) -> Table {
+    let mut t = Table::new(
+        "Fig. 8 — comm time vs #neighbors (8 B payload)",
+        &["neighbors", "memory pool (ms)", "per-neighbor reg (ms)", "ratio"],
+    );
+    for p in points {
+        t.row(vec![
+            p.neighbors.to_string(),
+            f(p.pool_ns as f64 / 1e6, 3),
+            f(p.per_neighbor_ns as f64 / 1e6, 3),
+            f(p.per_neighbor_ns as f64 / p.pool_ns as f64, 2),
+        ]);
+    }
+    t
+}
+
+/// Locate the knee: the first sweep point where the per-neighbour curve
+/// exceeds the pool curve by more than 20%.
+pub fn knee(points: &[Fig8Point]) -> Option<usize> {
+    points
+        .iter()
+        .find(|p| p.per_neighbor_ns as f64 > 1.2 * p.pool_ns as f64)
+        .map(|p| p.neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmd_comm::mempool::Registration;
+
+    #[test]
+    fn knee_sits_near_44_neighbors_as_in_the_paper() {
+        let machine = MachineConfig::default();
+        let pts = run(&machine, 300);
+        let k = knee(&pts).expect("a knee must exist");
+        assert!((44..=74).contains(&k), "knee at {k}, paper: departs at 44");
+    }
+
+    #[test]
+    fn pool_scales_linearly_to_124() {
+        let machine = MachineConfig::default();
+        let pts = run(&machine, 200);
+        let per_neighbor: Vec<f64> =
+            pts.iter().map(|p| p.pool_ns as f64 / p.neighbors as f64).collect();
+        let first = per_neighbor[0];
+        for (p, v) in pts.iter().zip(&per_neighbor) {
+            assert!((v / first - 1.0).abs() < 0.1, "pool per-message cost drifted at {}", p.neighbors);
+        }
+    }
+
+    #[test]
+    fn direct_strategy_comparison() {
+        let machine = MachineConfig::default();
+        let pool = mempool::simulate(&machine, 124, 8, 100, Registration::MemoryPool);
+        let per = mempool::simulate(&machine, 124, 8, 100, Registration::PerNeighbor);
+        assert!(per > 2 * pool, "at 124 neighbours the pool wins big: {per} vs {pool}");
+    }
+}

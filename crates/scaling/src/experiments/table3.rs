@@ -1,0 +1,185 @@
+//! Table III — pair time and atom-count statistics across MPI ranks, with
+//! and without intra-node load balance, at 12/24/96 atoms per rank.
+
+use minimd::atoms::Atoms;
+use minimd::domain::Decomposition;
+use minimd::simbox::SimBox;
+
+use dpmd_balance::assign::lb_rank_loads;
+use dpmd_balance::pair_time::PairTimeModel;
+use dpmd_balance::stats::Summary;
+
+use crate::report::{f, Table};
+
+/// One half-row of Table III (a (case, lb) combination).
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Atoms per core (1, 2, 8).
+    pub atoms_per_core: usize,
+    /// Load balance on?
+    pub lb: bool,
+    /// Pair-time summary (units of 0.01 s in the paper; ns here).
+    pub pair: Summary,
+    /// Atom-count summary.
+    pub natom: Summary,
+}
+
+/// Build a uniform-density random configuration at the given atoms/rank
+/// over the 96-node topology (random placement reproduces the Poisson
+/// fluctuations the paper's fine-grained sub-boxes see).
+fn build(atoms_per_rank: usize, seed: u64) -> (Decomposition, Atoms) {
+    use minimd::atoms::copper_species;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let nodes = [4usize, 6, 4];
+    let decomp = Decomposition::new(SimBox::new(64.0, 96.0, 64.0), nodes);
+    let total = atoms_per_rank * decomp.num_ranks();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut atoms = Atoms::new(copper_species());
+    let l = decomp.bx.lengths();
+    for i in 0..total {
+        atoms.push_local(
+            i as u64 + 1,
+            0,
+            minimd::vec3::Vec3::new(
+                rng.random_range(0.0..l.x),
+                rng.random_range(0.0..l.y),
+                rng.random_range(0.0..l.z),
+            ),
+            minimd::vec3::Vec3::ZERO,
+        );
+    }
+    (decomp, atoms)
+}
+
+/// Public access to the configuration builder (shared with Fig. 10, which
+/// plots the distributions behind this table's summaries).
+pub fn build_public(atoms_per_rank: usize, seed: u64) -> (Decomposition, Atoms) {
+    build(atoms_per_rank, seed)
+}
+
+/// Run the table for the paper's three cases.
+pub fn run(seed: u64) -> Vec<Table3Row> {
+    let model = PairTimeModel::new(500_000.0); // ~0.5 ms/atom inference
+    let mut rows = Vec::new();
+    for (apc, apr) in [(1usize, 12usize), (2, 24), (8, 96)] {
+        let (decomp, atoms) = build(apr, seed ^ apr as u64);
+        let counts = decomp.counts_per_rank(&atoms);
+        // Without lb.
+        let t_nolb = model.rank_times_nolb(&counts, seed);
+        rows.push(Table3Row {
+            atoms_per_core: apc,
+            lb: false,
+            pair: Summary::of(&t_nolb),
+            natom: Summary::of_counts(&counts),
+        });
+        // With lb: counts per rank become the node-box even split.
+        let lb_counts = lb_rank_loads(&decomp, &counts);
+        let t_lb = model.rank_times_lb(&decomp, &counts, seed);
+        rows.push(Table3Row {
+            atoms_per_core: apc,
+            lb: true,
+            pair: Summary::of(&t_lb),
+            natom: Summary::of_counts(&lb_counts),
+        });
+    }
+    rows
+}
+
+/// The headline claim of §III-C/§VI: the reduction of the natom SDMR with
+/// load balance, averaged over the paper's cases ("79.7% reduction of
+/// atomic dispersion").
+pub fn dispersion_reduction(rows: &[Table3Row]) -> f64 {
+    let mut reds = Vec::new();
+    for pair in rows.chunks(2) {
+        let (no, yes) = (&pair[0], &pair[1]);
+        debug_assert!(!no.lb && yes.lb);
+        reds.push(1.0 - yes.natom.sdmr / no.natom.sdmr);
+    }
+    reds.iter().sum::<f64>() / reds.len() as f64
+}
+
+/// Render in the paper's layout.
+pub fn table(rows: &[Table3Row]) -> Table {
+    let mut t = Table::new(
+        "Table III — pair time (ms) and atom counts across MPI ranks",
+        &["case", "lb", "type", "Min", "Avg", "Max", "SDMR%"],
+    );
+    for r in rows {
+        let case = format!("{} atom/core ({}/rank)", r.atoms_per_core, r.natom.avg.round());
+        let lb = if r.lb { "yes" } else { "no" };
+        t.row(vec![
+            case.clone(),
+            lb.into(),
+            "pair".into(),
+            f(r.pair.min / 1e6, 2),
+            f(r.pair.avg / 1e6, 2),
+            f(r.pair.max / 1e6, 2),
+            f(r.pair.sdmr, 2),
+        ]);
+        t.row(vec![
+            case,
+            lb.into(),
+            "natom".into(),
+            f(r.natom.min, 0),
+            f(r.natom.avg, 2),
+            f(r.natom.max, 0),
+            f(r.natom.sdmr, 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb_halves_pair_time_sdmr_and_crushes_natom_sdmr() {
+        let rows = run(7);
+        for pair in rows.chunks(2) {
+            let (no, yes) = (&pair[0], &pair[1]);
+            assert!(yes.pair.sdmr < no.pair.sdmr, "pair SDMR {} vs {}", yes.pair.sdmr, no.pair.sdmr);
+            assert!(
+                yes.natom.sdmr < 0.6 * no.natom.sdmr,
+                "natom SDMR {} vs {}",
+                yes.natom.sdmr,
+                no.natom.sdmr
+            );
+            // Totals preserved.
+            assert!((yes.natom.avg - no.natom.avg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_pair_time_drops_at_strong_scaling() {
+        let rows = run(11);
+        // 1 and 2 atoms/core cases (paper: max pair −16% / −12%).
+        for case in 0..2 {
+            let (no, yes) = (&rows[2 * case], &rows[2 * case + 1]);
+            assert!(yes.pair.max <= no.pair.max, "case {case}");
+            let gain = 1.0 - yes.pair.max / no.pair.max;
+            assert!((0.0..=0.6).contains(&gain), "case {case}: gain {gain}");
+        }
+    }
+
+    #[test]
+    fn dispersion_reduction_near_paper_value() {
+        let rows = run(3);
+        let red = dispersion_reduction(&rows);
+        // Paper: 79.7% reduction of atomic dispersion (we average the three
+        // cases; random placement gives the same order).
+        assert!((0.40..=0.95).contains(&red), "dispersion reduction {red:.3}");
+    }
+
+    #[test]
+    fn paper_shape_at_1_atom_per_core() {
+        // Table III, 1 atom/core: natom SDMR ~80% before, ~24% after; the
+        // busiest rank still holds more than 12 atoms afterwards (≥ 2
+        // atoms on some thread).
+        let rows = run(5);
+        let (no, yes) = (&rows[0], &rows[1]);
+        assert!(no.natom.sdmr > 15.0, "pre-lb SDMR {}", no.natom.sdmr);
+        assert!(yes.natom.max >= 12.0, "post-lb max {}", yes.natom.max);
+    }
+}

@@ -1,0 +1,124 @@
+//! Weak scaling — not a paper figure (the paper is a strong-scaling study),
+//! but the natural complement its §I cites from the baseline work [33]:
+//! grow the system with the machine at fixed atoms/core and watch the
+//! per-step time stay flat.
+
+use fugaku::tofu::Torus3d;
+use minimd::domain::Decomposition;
+
+use dpmd_comm::plan::HaloPlan;
+
+use crate::kernels::OptLevel;
+use crate::report::{f, us, Table};
+use crate::step_model::StepModel;
+use crate::systems::SystemSpec;
+
+/// One weak-scaling point.
+#[derive(Clone, Copy, Debug)]
+pub struct WeakPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Atoms in the grown system.
+    pub natoms: usize,
+    /// Per-step time, ns (comm_lb).
+    pub step_ns: f64,
+}
+
+/// Run weak scaling at `atoms_per_core` across node grids.
+pub fn run(spec: SystemSpec, atoms_per_core: usize, grids: &[[usize; 3]]) -> Vec<WeakPoint> {
+    let model = StepModel::new(spec);
+    grids
+        .iter()
+        .map(|&dims| {
+            let nodes: usize = dims.iter().product();
+            let target = atoms_per_core * nodes * 48;
+            let (nx, ny, nz) = minimd::lattice::fcc_cells_for(target);
+            let (bx, atoms) = minimd::lattice::fcc_lattice(nx, ny, nz, 3.615);
+            let decomp = Decomposition::new(bx, dims);
+            let torus = Torus3d::new(dims);
+            let counts = decomp.counts_per_rank(&atoms);
+            let plan = HaloPlan::build(&decomp, &atoms, spec.rcut);
+            let b = model.evaluate_with(&decomp, &torus, &counts, &plan, OptLevel::CommLb);
+            WeakPoint { nodes, natoms: atoms.nlocal, step_ns: b.total_ns() }
+        })
+        .collect()
+}
+
+/// Weak-scaling efficiency of point `i` relative to the first point.
+pub fn efficiency(points: &[WeakPoint], i: usize) -> f64 {
+    points[0].step_ns / points[i].step_ns
+}
+
+/// Render the table.
+pub fn table(points: &[WeakPoint]) -> Table {
+    let mut t = Table::new(
+        "Weak scaling (comm_lb) — fixed atoms/core",
+        &["nodes", "atoms", "step time", "efficiency"],
+    );
+    for (i, p) in points.iter().enumerate() {
+        t.row(vec![
+            p.nodes.to_string(),
+            p.natoms.to_string(),
+            us(p.step_ns),
+            format!("{}%", f(efficiency(points, i) * 100.0, 1)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_is_nearly_flat() {
+        // 2 atoms/core from 48 to 384 nodes: the step time should stay
+        // within ~35% (halo work per node is constant; collectives grow
+        // logarithmically).
+        let grids = [[2usize, 3, 2], [4, 3, 4], [4, 6, 4], [8, 6, 8]];
+        let pts = run(SystemSpec::copper(), 2, &grids);
+        assert_eq!(pts.len(), 4);
+        for (i, p) in pts.iter().enumerate() {
+            let eff = efficiency(&pts, i);
+            assert!(eff > 0.65, "node count {}: efficiency {eff:.2}", p.nodes);
+            // Atom counts actually grew with the machine.
+            if i > 0 {
+                assert!(p.natoms > pts[i - 1].natoms);
+            }
+        }
+    }
+
+    #[test]
+    fn weak_beats_strong_efficiency_at_the_same_node_count() {
+        // The defining contrast: at 96 nodes, weak scaling (constant work
+        // per core) holds efficiency better than strong scaling from 12
+        // nodes does.
+        let weak = run(SystemSpec::copper(), 2, &[[2, 3, 2], [4, 6, 4]]);
+        let weak_eff = efficiency(&weak, 1);
+        // Strong: same total atoms as the 12-node weak point, spread over
+        // 96 nodes.
+        let spec = SystemSpec::copper();
+        let model = StepModel::new(spec);
+        let target = 2 * 12 * 48;
+        let (nx, ny, nz) = minimd::lattice::fcc_cells_for(target);
+        let (bx, atoms) = minimd::lattice::fcc_lattice(nx, ny, nz, 3.615);
+        let d12 = Decomposition::new(bx, [2, 3, 2]);
+        let d96 = Decomposition::new(bx, [4, 6, 4]);
+        let t12 = {
+            let counts = d12.counts_per_rank(&atoms);
+            let plan = HaloPlan::build(&d12, &atoms, spec.rcut);
+            model
+                .evaluate_with(&d12, &Torus3d::new([2, 3, 2]), &counts, &plan, OptLevel::CommLb)
+                .total_ns()
+        };
+        let t96 = {
+            let counts = d96.counts_per_rank(&atoms);
+            let plan = HaloPlan::build(&d96, &atoms, spec.rcut);
+            model
+                .evaluate_with(&d96, &Torus3d::new([4, 6, 4]), &counts, &plan, OptLevel::CommLb)
+                .total_ns()
+        };
+        let strong_eff = (t12 / t96) / 8.0; // 8× the nodes
+        assert!(weak_eff > strong_eff, "weak {weak_eff:.2} vs strong {strong_eff:.2}");
+    }
+}

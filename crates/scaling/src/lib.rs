@@ -1,0 +1,36 @@
+//! # dpmd-scaling — time-to-solution model and experiment drivers
+//!
+//! Combines the compute-kernel cost model ([`kernels`]), the communication
+//! simulations (crate `dpmd-comm`), and the load-balance machinery (crate
+//! `dpmd-balance`) into a per-step time model ([`step_model`]) for the
+//! optimized DeePMD-kit on the simulated Fugaku, then drives one module per
+//! table/figure of the paper ([`experiments`]).
+//!
+//! Conventions: times in nanoseconds, sizes in bytes, the headline metric
+//! is ns/day via [`minimd::units::ns_per_day`].
+
+pub mod kernels;
+pub mod memory;
+pub mod report;
+pub mod step_model;
+pub mod systems;
+
+pub mod experiments {
+    //! One module per table/figure of the paper's evaluation section, plus
+    //! the [`ablations`] sensitivity sweeps.
+    pub mod ablations;
+    pub mod fig10;
+    pub mod fig11;
+    pub mod fig6;
+    pub mod fig7;
+    pub mod fig8;
+    pub mod fig9;
+    pub mod portability;
+    pub mod table1;
+    pub mod table2;
+    pub mod table3;
+    pub mod weak_scaling;
+}
+
+pub use step_model::{OptLevel, StepModel};
+pub use systems::SystemSpec;

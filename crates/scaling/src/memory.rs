@@ -1,0 +1,124 @@
+//! Memory-footprint model (§III-C's closing argument): the load-balanced
+//! layout costs extra ghost storage — equations (1)/(2) — and the paper
+//! argues it is "a few dozen kilobytes" against 8 GB of HBM2 per CMG. This
+//! module makes that argument quantitative for any configuration.
+
+use dpmd_balance::ghost::{nghost_baseline, nghost_loadbalance};
+
+use crate::kernels::NetworkDims;
+use crate::systems::SystemSpec;
+
+/// Bytes of per-atom state a rank stores (position, velocity, force, id,
+/// type, image flags — LAMMPS' core arrays).
+pub const ATOM_STATE_BYTES: usize = 3 * 8 * 3 + 8 + 4 + 4;
+
+/// Bytes of per-ghost state (position, id, type).
+pub const GHOST_STATE_BYTES: usize = 3 * 8 + 8 + 4;
+
+/// HBM2 capacity per CMG (= per rank), bytes.
+pub const HBM_PER_CMG: usize = 8 << 30;
+
+/// Per-rank memory breakdown at a given sub-box edge, bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct RankMemory {
+    /// Local atom state.
+    pub locals: usize,
+    /// Ghost state under the original layout (eq. 1).
+    pub ghosts_baseline: usize,
+    /// Ghost state under the load-balanced node-box layout (eq. 2).
+    pub ghosts_lb: usize,
+    /// Model parameters (embedding tables + fitting nets, f64).
+    pub model: usize,
+    /// Inference workspace (per-thread activations for the widest layer).
+    pub workspace: usize,
+}
+
+impl RankMemory {
+    /// Total with the load-balanced layout.
+    pub fn total_lb(&self) -> usize {
+        self.locals + self.ghosts_lb + self.model + self.workspace
+    }
+
+    /// The extra bytes the lb layout costs (the paper's "few dozen kB").
+    pub fn lb_overhead(&self) -> usize {
+        self.ghosts_lb.saturating_sub(self.ghosts_baseline)
+    }
+}
+
+/// Model parameter bytes for the production network sizes.
+pub fn model_bytes(dims: &NetworkDims, ntypes: usize, table_intervals: usize) -> usize {
+    let fit = dims.descriptor_len() * dims.fit_width
+        + (dims.fit_layers - 1) * dims.fit_width * dims.fit_width
+        + dims.fit_width;
+    // Fitting nets (weights + transposed copies, per species) + compressed
+    // embedding tables (6 coefficients per interval per feature).
+    let tables = table_intervals * dims.m1 * 6;
+    ntypes * (2 * fit + tables) * 8
+}
+
+/// Per-rank memory at `nodes` total nodes for a benchmark system.
+pub fn rank_memory(spec: &SystemSpec, nodes: usize) -> RankMemory {
+    let ranks = nodes * 4;
+    let atoms_per_rank = spec.target_atoms as f64 / ranks as f64;
+    // Sub-box edge from the density (cubic-equivalent).
+    let a = (atoms_per_rank / spec.density).powf(1.0 / 3.0);
+    let r = spec.rcut;
+    let ghosts_bs = nghost_baseline(a, r) * spec.density;
+    let ghosts_lb = nghost_loadbalance(a, r) * spec.density;
+    let dims = NetworkDims::default();
+    RankMemory {
+        locals: (atoms_per_rank * ATOM_STATE_BYTES as f64) as usize,
+        ghosts_baseline: (ghosts_bs * GHOST_STATE_BYTES as f64) as usize,
+        ghosts_lb: (ghosts_lb * GHOST_STATE_BYTES as f64) as usize,
+        model: model_bytes(&dims, spec.ntypes, 512),
+        workspace: 12 * dims.fit_width * 8 * 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb_overhead_is_tens_of_kilobytes_at_the_strong_scaling_limit() {
+        // §III-C: "the additional atoms we introduce only add a few dozen
+        // kilobytes of memory occupation".
+        let m = rank_memory(&SystemSpec::copper(), 12_000);
+        let overhead = m.lb_overhead();
+        assert!(
+            (5_000..200_000).contains(&overhead),
+            "lb ghost overhead {overhead} B"
+        );
+    }
+
+    #[test]
+    fn everything_fits_hbm_with_orders_of_magnitude_to_spare() {
+        for spec in [SystemSpec::copper(), SystemSpec::water()] {
+            for nodes in [768usize, 12_000] {
+                let m = rank_memory(&spec, nodes);
+                assert!(
+                    m.total_lb() * 100 < HBM_PER_CMG,
+                    "{nodes} nodes: {} B used of {HBM_PER_CMG}",
+                    m.total_lb()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ghosts_dominate_locals_at_the_strong_scaling_limit() {
+        // At ~11 atoms/rank with an 8 Å cutoff, the halo dwarfs the locals —
+        // the geometric fact behind the whole communication story.
+        let m = rank_memory(&SystemSpec::copper(), 12_000);
+        assert!(m.ghosts_baseline > 10 * m.locals);
+    }
+
+    #[test]
+    fn model_parameters_dominate_the_footprint() {
+        // A 240³ fitting net is ~1.5 MB ≫ any atom storage at strong
+        // scaling; DeePMD's memory is model-bound, not atom-bound.
+        let m = rank_memory(&SystemSpec::copper(), 12_000);
+        assert!(m.model > m.ghosts_lb);
+        assert!(m.model > 1_000_000);
+    }
+}

@@ -1,0 +1,252 @@
+//! The per-step time model: pair compute + halo communication + framework
+//! overheads, composed per optimization level, on a concrete decomposition
+//! of a concrete atom configuration.
+
+use fugaku::machine::MachineConfig;
+use fugaku::tofu::Torus3d;
+use fugaku::utofu::CommApi;
+use minimd::atoms::Atoms;
+use minimd::domain::Decomposition;
+use minimd::units::ns_per_day;
+
+use dpmd_balance::assign::{busiest_thread_atoms, lb_busiest_thread_atoms};
+use dpmd_comm::node_based::{self, NodeSchemeConfig};
+use dpmd_comm::plan::HaloPlan;
+use dpmd_comm::three_stage;
+
+/// Ratio of reverse-path to forward-path time for the *baseline* 3-stage
+/// pattern (the node scheme simulates its reverse phase explicitly).
+const BASELINE_REVERSE_FACTOR: f64 = 0.75;
+
+pub use crate::kernels::OptLevel;
+use crate::kernels::KernelModel;
+use crate::systems::SystemSpec;
+
+/// Per-step time breakdown, ns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepBreakdown {
+    /// Pair phase (DeePMD inference) — the slowest rank.
+    pub pair_ns: f64,
+    /// Forward + reverse halo communication.
+    pub comm_ns: f64,
+    /// Framework overhead (TF sessions / thread management).
+    pub framework_ns: f64,
+    /// Everything else (integration, thermo, amortized neighbour rebuild).
+    pub other_ns: f64,
+}
+
+impl StepBreakdown {
+    /// Total step time, ns.
+    pub fn total_ns(&self) -> f64 {
+        self.pair_ns + self.comm_ns + self.framework_ns + self.other_ns
+    }
+
+    /// Simulated nanoseconds per wall-clock day at `timestep_fs`.
+    pub fn ns_per_day(&self, timestep_fs: f64) -> f64 {
+        ns_per_day(timestep_fs, self.total_ns() * 1e-9)
+    }
+}
+
+/// The assembled model.
+#[derive(Clone, Debug)]
+pub struct StepModel {
+    /// Machine parameters.
+    pub machine: MachineConfig,
+    /// Kernel cost calibration.
+    pub kernel: KernelModel,
+    /// Benchmark system.
+    pub spec: SystemSpec,
+}
+
+impl StepModel {
+    /// Defaults for a benchmark system.
+    pub fn new(spec: SystemSpec) -> Self {
+        StepModel { machine: MachineConfig::default(), kernel: KernelModel::default(), spec }
+    }
+
+    /// Pair-phase time: the slowest rank's kernel time given the actual
+    /// per-rank atom counts and the level's balancing policy.
+    pub fn pair_time_ns(&self, decomp: &Decomposition, counts: &[u32], level: OptLevel) -> f64 {
+        let chip = &self.machine.chip;
+        let mut worst: f64 = 0.0;
+        if level.uses_intranode_lb() {
+            for node in 0..decomp.num_nodes() {
+                let total: u32 = decomp.node_ranks(node).iter().map(|&r| counts[r]).sum();
+                let per_thread = lb_busiest_thread_atoms(total);
+                let t = self.kernel.thread_kernel_ns(
+                    chip,
+                    level,
+                    per_thread,
+                    self.spec.mean_neighbors,
+                    self.spec.ntypes,
+                );
+                worst = worst.max(t);
+            }
+        } else {
+            for &c in counts {
+                let per_thread = busiest_thread_atoms(c);
+                let t = self.kernel.thread_kernel_ns(
+                    chip,
+                    level,
+                    per_thread,
+                    self.spec.mean_neighbors,
+                    self.spec.ntypes,
+                );
+                worst = worst.max(t);
+            }
+        }
+        worst
+    }
+
+    /// Communication time (forward + reverse) for a level.
+    pub fn comm_time_ns(
+        &self,
+        decomp: &Decomposition,
+        torus: &Torus3d,
+        plan: &HaloPlan,
+        counts: &[u32],
+        level: OptLevel,
+    ) -> f64 {
+        if level.uses_node_comm() {
+            let atoms_per_rank: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+            node_based::simulate_round_trip(
+                &self.machine,
+                decomp,
+                torus,
+                plan,
+                &atoms_per_rank,
+                NodeSchemeConfig::paper_best(),
+            )
+            .comm
+            .total_ns as f64
+        } else {
+            let fwd = three_stage::simulate(
+                &self.machine,
+                decomp,
+                torus,
+                self.spec.rcut,
+                self.spec.density,
+                CommApi::Mpi,
+            )
+            .total_ns as f64;
+            fwd * (1.0 + BASELINE_REVERSE_FACTOR)
+        }
+    }
+
+    /// Full per-step breakdown for a level.
+    pub fn evaluate(
+        &self,
+        decomp: &Decomposition,
+        torus: &Torus3d,
+        atoms: &Atoms,
+        level: OptLevel,
+    ) -> StepBreakdown {
+        let counts = decomp.counts_per_rank(atoms);
+        let plan = HaloPlan::build(decomp, atoms, self.spec.rcut);
+        self.evaluate_with(decomp, torus, &counts, &plan, level)
+    }
+
+    /// Like [`Self::evaluate`] with precomputed counts and plan (the plan is
+    /// the expensive part; experiments sweeping levels reuse it).
+    pub fn evaluate_with(
+        &self,
+        decomp: &Decomposition,
+        torus: &Torus3d,
+        counts: &[u32],
+        plan: &HaloPlan,
+        level: OptLevel,
+    ) -> StepBreakdown {
+        let pair = self.pair_time_ns(decomp, counts, level);
+        let comm = self.comm_time_ns(decomp, torus, plan, counts, level);
+        let framework = self.kernel.framework_step_ns(level);
+        // Integration + the per-step global thermo allreduce + the
+        // amortized rebuild (every 50 steps the neighbour list and the
+        // exchange run again ⇒ ~2% of a pair phase).
+        let api = if level.uses_node_comm() { CommApi::Utofu } else { CommApi::Mpi };
+        let allreduce = fugaku::collectives::thermo_allreduce_ns(&self.machine, torus, api) as f64;
+        let other = 2_000.0 + allreduce + 0.02 * pair;
+        StepBreakdown { pair_ns: pair, comm_ns: comm, framework_ns: framework, other_ns: other }
+    }
+
+    /// ns/day for a level on a topology.
+    pub fn nsday(
+        &self,
+        decomp: &Decomposition,
+        torus: &Torus3d,
+        atoms: &Atoms,
+        level: OptLevel,
+    ) -> f64 {
+        self.evaluate(decomp, torus, atoms, level).ns_per_day(self.spec.timestep_fs)
+    }
+}
+
+/// Scale the simulation box of `atoms` onto the decomposition implied by a
+/// node grid — helper used by experiments that pick topologies first.
+pub fn decompose(atoms_box: minimd::simbox::SimBox, nodes: [usize; 3]) -> (Decomposition, Torus3d) {
+    (Decomposition::new(atoms_box, nodes), Torus3d::new(nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimd::lattice::fcc_copper;
+
+    fn small_setup() -> (StepModel, Decomposition, Torus3d, Atoms) {
+        // A scaled-down copper problem: 4×6×4 nodes (the 96-node topology),
+        // 9,216 atoms = 2.0 atoms/core — the strong-scaling regime where
+        // the full ladder (TF removal, precision, sve, comm, lb) engages.
+        let (bx, atoms) = fcc_copper(12, 12, 16);
+        let model = StepModel::new(SystemSpec::copper());
+        let (decomp, torus) = decompose(bx, [4, 6, 4]);
+        (model, decomp, torus, atoms)
+    }
+
+    #[test]
+    fn full_ladder_is_monotone_improving() {
+        let (model, decomp, torus, atoms) = small_setup();
+        let counts = decomp.counts_per_rank(&atoms);
+        let plan = HaloPlan::build(&decomp, &atoms, model.spec.rcut);
+        let mut last = f64::INFINITY;
+        for level in OptLevel::ALL {
+            let t = model.evaluate_with(&decomp, &torus, &counts, &plan, level).total_ns();
+            assert!(
+                t <= last * 1.02,
+                "{} regressed: {t} after {last}",
+                level.label()
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn overall_speedup_matches_paper_scale() {
+        // Paper: 31.7× total speedup for copper. Accept a generous band —
+        // the exact value is checked at the Fig. 11 endpoint instead.
+        let (model, decomp, torus, atoms) = small_setup();
+        let counts = decomp.counts_per_rank(&atoms);
+        let plan = HaloPlan::build(&decomp, &atoms, model.spec.rcut);
+        let base = model.evaluate_with(&decomp, &torus, &counts, &plan, OptLevel::Baseline).total_ns();
+        let best = model.evaluate_with(&decomp, &torus, &counts, &plan, OptLevel::CommLb).total_ns();
+        let speedup = base / best;
+        assert!((15.0..=60.0).contains(&speedup), "overall speedup {speedup:.1}");
+    }
+
+    #[test]
+    fn lb_improves_or_matches_pair_time() {
+        let (model, decomp, _, atoms) = small_setup();
+        let counts = decomp.counts_per_rank(&atoms);
+        let nolb = model.pair_time_ns(&decomp, &counts, OptLevel::CommNolb);
+        let lb = model.pair_time_ns(&decomp, &counts, OptLevel::CommLb);
+        assert!(lb <= nolb, "{lb} vs {nolb}");
+    }
+
+    #[test]
+    fn nsday_uses_the_timestep() {
+        let (model, decomp, torus, atoms) = small_setup();
+        let b = model.evaluate(&decomp, &torus, &atoms, OptLevel::CommLb);
+        let cu = b.ns_per_day(1.0);
+        let water_like = b.ns_per_day(0.5);
+        assert!((cu / water_like - 2.0).abs() < 1e-9);
+        assert!(cu > 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figs. 7–8 scenario: compare the communication organizations on the
+//! simulated TofuD network, and the RDMA memory-pool sweep.
+//!
+//! ```sh
+//! cargo run --release --example comm_schemes
+//! ```
+
+use dpmd_repro::fugaku::machine::MachineConfig;
+use dpmd_repro::scaling::experiments::{fig7, fig8};
+
+fn main() {
+    let machine = MachineConfig::default();
+
+    println!("simulating the eight Fig. 7 bars on 96 nodes (4x6x4)...\n");
+    let rows = fig7::run(&machine);
+    println!("{}", fig7::table(&rows).render());
+    // The paper's headline: the node scheme's saving at the strong-scaling
+    // configuration.
+    if let Some(strong) = rows.iter().find(|r| r.rc == 8.0 && r.frac == [0.5, 0.5, 0.5]) {
+        let reduction = 1.0 - strong.times[5] as f64 / strong.times[0] as f64;
+        println!(
+            "node-based vs MPI baseline at [0.5,0.5,0.5]·rc: {:.0}% less comm time (paper: 81%)\n",
+            reduction * 100.0
+        );
+    }
+
+    println!("sweeping the Fig. 8 memory-pool experiment (10k iterations, 8 B payloads)...\n");
+    let points = fig8::run(&machine, 10_000);
+    println!("{}", fig8::table(&points).render());
+    if let Some(knee) = fig8::knee(&points) {
+        println!("per-neighbor registration departs at ~{knee} neighbors (paper: 44)");
+    }
+}

@@ -1,0 +1,64 @@
+//! Visualize where one node-based halo exchange spends its time: an ASCII
+//! Gantt trace of a hand-built schedule on the event simulator — gather
+//! copies, the six TNIs pumping, scatter, and the closing sync.
+//!
+//! ```sh
+//! cargo run --release --example comm_trace
+//! ```
+
+use dpmd_repro::fugaku::event::JobGraph;
+use dpmd_repro::fugaku::machine::MachineConfig;
+use dpmd_repro::fugaku::utofu::{ApiCosts, CommApi};
+
+fn main() {
+    let m = MachineConfig::default();
+    let costs = ApiCosts::of(CommApi::Utofu);
+    let mut g = JobGraph::new();
+    let mut labels = Vec::new();
+
+    // One node at the strong-scaling point: 4 workers gather ~14 atoms each,
+    // 6 TNIs ship 35 messages of ~1.2 KiB, receive-side threads scatter.
+    let sync0 = g.job(&[], None, m.chip.sync_latency_ns as u64, 0);
+    labels.push("sync(counts)".to_string());
+    let workers = g.resources(4);
+    let mut gathers = Vec::new();
+    for (k, &w) in workers.iter().enumerate() {
+        let bytes = 14 * 32;
+        let busy = m.chip.cross_numa_copy_ns(bytes, 4) as u64;
+        gathers.push(g.job(&[sync0], Some(w), busy, 0));
+        labels.push(format!("gather w{k}"));
+    }
+    let tnis = g.resources(6);
+    let threads = g.resources(24);
+    let mut receives = Vec::new();
+    for msg in 0..35usize {
+        let thread = threads[msg % threads.len()];
+        let tni = tnis[msg % tnis.len()];
+        let post = g.job(&gathers, Some(thread), costs.send_overhead_ns, 0);
+        labels.push(format!("post m{msg:02}"));
+        let bytes = 1_200usize;
+        let inj = g.job(
+            &[post],
+            Some(tni),
+            m.tni.engine_overhead_ns + (bytes as f64 / m.tofu.link_bw) as u64,
+            m.tofu.base_latency_ns as u64 + 2 * m.tofu.hop_latency_ns as u64,
+        );
+        labels.push(format!("tni  m{msg:02}"));
+        let scat = g.job(
+            &[inj],
+            Some(thread),
+            costs.recv_overhead_ns + m.chip.cross_numa_copy_ns(4 * bytes, 4) as u64,
+            0,
+        );
+        labels.push(format!("scat m{msg:02}"));
+        receives.push(scat);
+    }
+    g.job(&receives, None, m.chip.sync_latency_ns as u64, 0);
+    labels.push("sync(done)".to_string());
+
+    let schedule = g.run();
+    println!("== one node-based halo exchange, strong-scaling shape ==\n");
+    // Show the head of the schedule (first 24 jobs) and the totals.
+    println!("{}", schedule.gantt(&labels, 72, 24));
+    println!("(…{} more jobs; full makespan {} ns)", labels.len().saturating_sub(24), schedule.makespan);
+}

@@ -1,0 +1,38 @@
+//! Fig. 11 / Table I scenario: strong scaling of the 0.54 M-atom copper and
+//! 0.56 M-atom water systems from 768 to 12,000 simulated Fugaku nodes.
+//!
+//! ```sh
+//! cargo run --release --example strong_scaling          # full sweep
+//! cargo run --release --example strong_scaling -- 3     # first 3 points
+//! ```
+
+use dpmd_repro::scaling::experiments::{fig11, table1};
+use dpmd_repro::scaling::systems::SystemSpec;
+
+fn main() {
+    let max_points: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5).clamp(1, 5);
+
+    for spec in [SystemSpec::copper(), SystemSpec::water()] {
+        println!("building {:?} strong-scaling curve ({max_points} topologies)...", spec.benchmark);
+        let curve = fig11::run(spec, max_points);
+        println!("{}", fig11::table(&curve).render());
+        println!(
+            "endpoint: {:.1} ns/day, {:.1}x over baseline (paper: {} ns/day, {}x)\n",
+            curve.points.last().unwrap().nsday_opt,
+            curve.final_speedup(),
+            if matches!(spec.benchmark, dpmd_repro::scaling::systems::Benchmark::Copper) {
+                dpmd_repro::headline::PAPER_CU_NSDAY
+            } else {
+                dpmd_repro::headline::PAPER_H2O_NSDAY
+            },
+            if matches!(spec.benchmark, dpmd_repro::scaling::systems::Benchmark::Copper) {
+                dpmd_repro::headline::PAPER_CU_SPEEDUP
+            } else {
+                dpmd_repro::headline::PAPER_H2O_SPEEDUP
+            },
+        );
+    }
+
+    println!("{}", table1::table(max_points).render());
+}

@@ -1,0 +1,124 @@
+//! Paper-anchor integration tests: the quantitative claims of the paper,
+//! asserted against the reproduction as bands. Heavyweight sweeps (the full
+//! 12,000-node endpoint) are `#[ignore]`d here and exercised by the bench
+//! harness; run them directly with `cargo test --release -- --ignored`.
+
+use dpmd_repro::fugaku::machine::MachineConfig;
+use dpmd_repro::scaling::experiments::{fig11, fig7, fig8, table3};
+use dpmd_repro::scaling::kernels::OptLevel;
+use dpmd_repro::scaling::systems::SystemSpec;
+
+/// §VI: "reducing communication overhead by 81%" — at the strong-scaling
+/// configuration, node-based vs the MPI baseline.
+#[test]
+fn communication_reduction_anchor() {
+    let machine = MachineConfig::default();
+    let row = fig7::run_config(&machine, 8.0, [0.5, 0.5, 0.5]);
+    let reduction = 1.0 - row.times[5] as f64 / row.times[0] as f64;
+    assert!((0.55..=0.95).contains(&reduction), "comm reduction {reduction:.2} (paper: 0.81)");
+}
+
+/// Fig. 8: the memory pool keeps per-message cost flat to 124 neighbours
+/// while per-neighbour registration departs near 44.
+#[test]
+fn nic_cache_knee_anchor() {
+    let machine = MachineConfig::default();
+    let pts = fig8::run(&machine, 500);
+    let knee = fig8::knee(&pts).expect("knee exists");
+    assert!((44..=74).contains(&knee), "knee at {knee} (paper: 44)");
+}
+
+/// §VI: "79.7% reduction of atomic dispersion" (natom SDMR with lb).
+#[test]
+fn dispersion_anchor() {
+    let rows = table3::run(1);
+    let red = table3::dispersion_reduction(&rows);
+    assert!((0.40..=0.95).contains(&red), "dispersion reduction {red:.2} (paper: 0.797)");
+}
+
+/// The 768-node starting point of Fig. 11 must already show a large
+/// optimized-vs-baseline gap, and scaling to 2160 nodes must increase
+/// ns/day at reasonable efficiency.
+#[test]
+fn strong_scaling_start_anchor() {
+    let curve = fig11::run(SystemSpec::copper(), 2);
+    assert!(curve.points[0].nsday_opt > 10.0, "768-node ns/day {}", curve.points[0].nsday_opt);
+    let sp768 = curve.points[0].nsday_opt / curve.points[0].nsday_base;
+    let sp2160 = curve.points[1].nsday_opt / curve.points[1].nsday_base;
+    // At ~14.6 atoms/core the strong-scaling optimizations matter less;
+    // the gap must widen as the per-core load shrinks (Fig. 11's shape).
+    assert!(sp768 > 4.0, "768-node speedup {sp768:.1}");
+    assert!(sp2160 > sp768, "speedup must grow with node count: {sp2160:.1} vs {sp768:.1}");
+    let eff = curve.efficiency(1);
+    assert!((0.3..1.01).contains(&eff), "efficiency {eff:.2}");
+}
+
+/// The headline: ~149 ns/day for copper and ~68.5 ns/day for water on
+/// 12,000 nodes, with >25× speedups and 55–90% parallel efficiency.
+/// Heavy (decomposes 0.5 M atoms over five topologies twice) — ignored by
+/// default; the bench harness and `--ignored` runs cover it.
+#[test]
+#[ignore = "full 12,000-node sweep; run with --release -- --ignored"]
+fn headline_endpoint_anchor() {
+    let cu = fig11::run(SystemSpec::copper(), 5);
+    let p = cu.points.last().unwrap();
+    assert_eq!(p.nodes, 12_000);
+    println!(
+        "Cu endpoint: {:.1} ns/day, same-config speedup {:.1}x, vs published baseline {:.1}x",
+        p.nsday_opt,
+        cu.final_speedup(),
+        p.nsday_opt / 4.7
+    );
+    assert!(
+        (60.0..=320.0).contains(&p.nsday_opt),
+        "Cu ns/day {} (paper: 149)",
+        p.nsday_opt
+    );
+    // The paper's 31.7× compares 149 ns/day against the *published*
+    // DeePMD-kit Fugaku baseline of 4.7 ns/day (Table I, a 2.1 M-atom run
+    // on 4,560 nodes) — reproduce that ratio against the same constant.
+    let paper_style = p.nsday_opt / 4.7;
+    assert!((15.0..=60.0).contains(&paper_style), "Cu speedup {paper_style:.1} (paper: 31.7)");
+    // Same-topology baseline comparison is necessarily smaller (our modeled
+    // baseline benefits from the 4-rank layout); it must still be large.
+    let same_config = cu.final_speedup();
+    assert!(same_config > 8.0, "same-config speedup {same_config:.1}");
+    let eff = cu.efficiency(cu.points.len() - 1);
+    assert!((0.3..=0.95).contains(&eff), "Cu efficiency {eff:.2} (paper: 0.623)");
+
+    let w = fig11::run(SystemSpec::water(), 5);
+    let pw = w.points.last().unwrap();
+    assert!(
+        (25.0..=160.0).contains(&pw.nsday_opt),
+        "H2O ns/day {} (paper: 68.5)",
+        pw.nsday_opt
+    );
+    // Copper (1 fs steps) delivers more ns/day than water (0.5 fs).
+    assert!(p.nsday_opt > pw.nsday_opt);
+}
+
+/// The Fig. 9 ladder ordering at the strong-scaling limit (1 atom/core).
+#[test]
+fn ladder_ordering_anchor() {
+    use dpmd_repro::scaling::experiments::fig9;
+    let row = fig9::run_config(SystemSpec::copper(), 1);
+    let t: Vec<f64> = row.step_ns.iter().map(|&(_, ns)| ns).collect();
+    // Monotone non-increasing along the paper's bar order.
+    for w in t.windows(2) {
+        assert!(w[1] <= w[0] * 1.02, "ladder regressed: {t:?}");
+    }
+    // End-to-end ladder factor is paper-scale (31.7× overall incl. comm).
+    let total = t[0] / t[t.len() - 1];
+    assert!((10.0..=70.0).contains(&total), "ladder factor {total:.1}");
+}
+
+/// Optimization levels map onto the paper's feature matrix.
+#[test]
+fn optimization_level_semantics() {
+    assert!(OptLevel::Baseline.uses_tensorflow());
+    assert!(!OptLevel::RmtfF64.uses_tensorflow());
+    assert!(OptLevel::CommNolb.uses_node_comm());
+    assert!(!OptLevel::SveF16.uses_node_comm());
+    assert!(OptLevel::CommLb.uses_intranode_lb());
+    assert!(!OptLevel::CommNolb.uses_intranode_lb());
+}
