@@ -8,6 +8,15 @@
 
 use minimd::domain::{Decomposition, CORES_PER_NODE, RANKS_PER_NODE, THREADS_PER_RANK};
 
+/// The even-split policy as contiguous index ranges: `even_chunks(total,
+/// parts)` splits `0..total` into at most `parts` ranges whose lengths
+/// differ by at most one — the same rule [`lb_rank_loads`] applies to a
+/// node's pooled atom count, exposed in range form for the shared-memory
+/// force pipeline (neighbor build, descriptor/embedding/fitting passes).
+/// The implementation lives in `dpmd-threads` so `minimd` can use it
+/// without a dependency cycle.
+pub use dpmd_threads::{atom_chunks, even_chunks};
+
 /// Per-rank workloads under the baseline policy (each rank owns its
 /// sub-box atoms).
 pub fn nolb_rank_loads(counts_per_rank: &[u32]) -> Vec<u32> {
@@ -174,6 +183,15 @@ mod tests {
                 - loads.iter().cloned().fold(f64::MAX, f64::min);
             assert!(spread <= 2.0 + 1e-9, "node {node}: spread {spread}");
         }
+    }
+
+    #[test]
+    fn even_chunks_match_lb_rank_load_rule() {
+        // The range form and the count form implement the same policy: a
+        // node with 53 atoms split 4 ways gives loads {14, 13, 13, 13}.
+        let chunks = even_chunks(53, RANKS_PER_NODE);
+        let lens: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![14, 13, 13, 13]);
     }
 
     #[test]

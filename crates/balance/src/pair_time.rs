@@ -5,19 +5,31 @@
 //! time is set by its *busiest thread*: `t = t_atom · max_thread_atoms`,
 //! plus a fixed per-step base (descriptor bookkeeping, list traversal) and
 //! optional noise standing in for "system jitter, cache contention, and
-//! other uncontrollable factors" the paper mentions.
+//! other uncontrollable factors" the paper mentions. Noise is drawn once
+//! per *node* and shared between the lb and no-lb evaluations of the same
+//! step, so scheme comparisons are paired rather than fighting independent
+//! random draws.
 
-use minimd::domain::Decomposition;
+use minimd::domain::{Decomposition, CORES_PER_NODE, THREADS_PER_RANK};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::assign::{busiest_thread_atoms, lb_busiest_thread_atoms};
 
 /// Pair-time model parameters.
+///
+/// A thread's pair time has two parts: the NN inference, which is
+/// atom-granular (a thread with k atoms pays `k · t_atom_ns`, so the rank
+/// pays for its busiest thread), and the smooth per-atom bookkeeping —
+/// neighbour-list traversal, descriptor assembly — which divides evenly
+/// over the threads that share the queue (`t_smooth_ns · atoms/threads`).
 #[derive(Clone, Copy, Debug)]
 pub struct PairTimeModel {
     /// Time to evaluate one atom on one thread, ns (DeePMD inference).
     pub t_atom_ns: f64,
+    /// Smooth per-atom bookkeeping cost, ns, amortized across the threads
+    /// sharing the work queue (12 per rank, 48 per node under lb).
+    pub t_smooth_ns: f64,
     /// Fixed per-step overhead per rank, ns.
     pub base_ns: f64,
     /// Relative jitter amplitude (0 = deterministic).
@@ -27,33 +39,70 @@ pub struct PairTimeModel {
 impl PairTimeModel {
     /// A model with the given per-atom cost and 3% jitter.
     pub fn new(t_atom_ns: f64) -> Self {
-        PairTimeModel { t_atom_ns, base_ns: 0.3 * t_atom_ns, jitter: 0.03 }
+        PairTimeModel {
+            t_atom_ns,
+            t_smooth_ns: 0.2 * t_atom_ns,
+            base_ns: 0.3 * t_atom_ns,
+            jitter: 0.03,
+        }
+    }
+
+    /// One multiplicative jitter factor per node, drawn in node order.
+    ///
+    /// Jitter stands in for node-level noise — OS activity, cache and
+    /// memory-bandwidth contention — which is a property of the hardware at
+    /// that step, *not* of the decomposition scheme running on it. Both the
+    /// lb and no-lb paths therefore consume the same per-node factors
+    /// (common random numbers), so comparing the two schemes measures the
+    /// scheme and not the luck of independent draws. It also preserves the
+    /// invariant that pooling a node's work can never be slower than its
+    /// worst rank: `lb_busiest(Σcᵣ) ≤ maxᵣ busiest(cᵣ)` survives scaling
+    /// both sides by the same factor.
+    fn node_factors(&self, decomp: &Decomposition, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..decomp.num_nodes()).map(|_| 1.0 + self.jitter_draw(&mut rng)).collect()
     }
 
     /// Per-rank pair times without intra-node load balance.
-    pub fn rank_times_nolb(&self, counts_per_rank: &[u32], seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        counts_per_rank
-            .iter()
-            .map(|&c| {
-                let t = self.base_ns + self.t_atom_ns * busiest_thread_atoms(c) as f64;
-                t * (1.0 + self.jitter_draw(&mut rng))
-            })
-            .collect()
+    pub fn rank_times_nolb(
+        &self,
+        decomp: &Decomposition,
+        counts_per_rank: &[u32],
+        seed: u64,
+    ) -> Vec<f64> {
+        let factors = self.node_factors(decomp, seed);
+        let mut out = vec![0.0; decomp.num_ranks()];
+        for node in 0..decomp.num_nodes() {
+            for &r in &decomp.node_ranks(node) {
+                let c = counts_per_rank[r];
+                let t = self.base_ns
+                    + self.t_atom_ns * busiest_thread_atoms(c) as f64
+                    + self.t_smooth_ns * c as f64 / THREADS_PER_RANK as f64;
+                out[r] = t * factors[node];
+            }
+        }
+        out
     }
 
     /// Per-rank pair times with intra-node load balance: all four ranks of
     /// a node finish together (they share the pooled work), set by the
     /// busiest of the node's 48 threads.
-    pub fn rank_times_lb(&self, decomp: &Decomposition, counts_per_rank: &[u32], seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+    pub fn rank_times_lb(
+        &self,
+        decomp: &Decomposition,
+        counts_per_rank: &[u32],
+        seed: u64,
+    ) -> Vec<f64> {
+        let factors = self.node_factors(decomp, seed);
         let mut out = vec![0.0; decomp.num_ranks()];
         for node in 0..decomp.num_nodes() {
             let ranks = decomp.node_ranks(node);
             let total: u32 = ranks.iter().map(|&r| counts_per_rank[r]).sum();
-            let t = self.base_ns + self.t_atom_ns * lb_busiest_thread_atoms(total) as f64;
+            let t = self.base_ns
+                + self.t_atom_ns * lb_busiest_thread_atoms(total) as f64
+                + self.t_smooth_ns * total as f64 / CORES_PER_NODE as f64;
             for &r in &ranks {
-                out[r] = t * (1.0 + self.jitter_draw(&mut rng));
+                out[r] = t * factors[node];
             }
         }
         out
@@ -92,7 +141,7 @@ mod tests {
     fn lb_reduces_max_pair_time_and_sdmr() {
         let (decomp, counts) = setup();
         let model = PairTimeModel::new(1000.0);
-        let nolb = model.rank_times_nolb(&counts, 1);
+        let nolb = model.rank_times_nolb(&decomp, &counts, 1);
         let lb = model.rank_times_lb(&decomp, &counts, 1);
         let max_nolb = PairTimeModel::step_time(&nolb);
         let max_lb = PairTimeModel::step_time(&lb);
@@ -105,7 +154,7 @@ mod tests {
     #[test]
     fn deterministic_without_jitter() {
         let (decomp, counts) = setup();
-        let model = PairTimeModel { t_atom_ns: 500.0, base_ns: 100.0, jitter: 0.0 };
+        let model = PairTimeModel { t_atom_ns: 500.0, t_smooth_ns: 100.0, base_ns: 100.0, jitter: 0.0 };
         let a = model.rank_times_lb(&decomp, &counts, 1);
         let b = model.rank_times_lb(&decomp, &counts, 999);
         assert_eq!(a, b, "seed must not matter at zero jitter");
@@ -114,12 +163,25 @@ mod tests {
     #[test]
     fn pair_time_steps_with_thread_occupancy() {
         // 12 atoms on a rank = 1 atom/thread; 13 atoms = one thread with 2.
-        let model = PairTimeModel { t_atom_ns: 1000.0, base_ns: 0.0, jitter: 0.0 };
-        let t12 = model.rank_times_nolb(&[12], 0)[0];
-        let t13 = model.rank_times_nolb(&[13], 0)[0];
-        let t24 = model.rank_times_nolb(&[24], 0)[0];
-        assert_eq!(t12, 1000.0);
-        assert_eq!(t13, 2000.0);
-        assert_eq!(t24, 2000.0, "atom-by-atom: 2 atoms/thread = 2× time");
+        let decomp = Decomposition::new(SimBox::cubic(10.0), [1, 1, 1]);
+        let model = PairTimeModel { t_atom_ns: 1000.0, t_smooth_ns: 0.0, base_ns: 0.0, jitter: 0.0 };
+        let t = model.rank_times_nolb(&decomp, &[12, 13, 24, 0], 0);
+        assert_eq!(t[0], 1000.0);
+        assert_eq!(t[1], 2000.0);
+        assert_eq!(t[2], 2000.0, "atom-by-atom: 2 atoms/thread = 2× time");
+        assert_eq!(t[3], 0.0);
+    }
+
+    #[test]
+    fn jitter_is_paired_across_schemes() {
+        // The same node must see the same jitter factor in both schemes:
+        // give every rank exactly 12 atoms so busiest counts coincide, then
+        // the lb and no-lb times must match *including* noise.
+        let decomp = Decomposition::new(SimBox::cubic(20.0), [2, 2, 2]);
+        let counts = vec![12u32; decomp.num_ranks()];
+        let model = PairTimeModel { t_atom_ns: 1000.0, t_smooth_ns: 200.0, base_ns: 250.0, jitter: 0.05 };
+        let nolb = model.rank_times_nolb(&decomp, &counts, 7);
+        let lb = model.rank_times_lb(&decomp, &counts, 7);
+        assert_eq!(nolb, lb, "uniform load: lb must be a no-op, jitter included");
     }
 }

@@ -1,0 +1,58 @@
+//! Threaded force-evaluation scaling: 1 thread vs N threads on the same
+//! system, same model, same neighbour list.
+//!
+//! The acceptance bar from the parallel-pipeline work: ≥2× speedup at
+//! 4 threads on 4³ FCC copper cells (256 atoms) — on a host with ≥4
+//! cores. On a single-core host (CI containers: `nproc` = 1) wider pools
+//! can only add oversubscription overhead, so this bench then reports the
+//! pool's scheduling cost instead of its scaling. The result is
+//! bit-identical at every pool width (chunk-ordered reduction), so the
+//! bench measures pure wall-time scaling, not an accuracy/speed trade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use deepmd::config::DeepPotConfig;
+use deepmd::model::DeepPotModel;
+use dpmd_threads::ThreadPool;
+use minimd::lattice::fcc_copper;
+use minimd::neighbor::{ListKind, NeighborList};
+use minimd::vec3::Vec3;
+
+fn force_eval_threads(c: &mut Criterion) {
+    let (bx, mut atoms) = fcc_copper(4, 4, 4);
+    // Perturb off lattice sites so all pipeline branches do real work.
+    for (k, p) in atoms.pos.iter_mut().enumerate() {
+        p.x += 0.05 * ((k % 7) as f64 - 3.0) / 3.0;
+        p.y += 0.04 * ((k % 5) as f64 - 2.0) / 2.0;
+        p.z += 0.03 * ((k % 3) as f64 - 1.0);
+        *p = bx.wrap(*p);
+    }
+    let model = DeepPotModel::new(DeepPotConfig::tiny(1, 6.0));
+    let mut nl = NeighborList::new(model.config.rcut, 1.0, ListKind::Full);
+    nl.build(&atoms, &bx);
+    let mut forces = vec![Vec3::ZERO; atoms.len()];
+
+    let mut group = c.benchmark_group("force_eval_256_atoms");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        let name = format!("threads_{threads}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let (out, _) = model.energy_forces_on(
+                    &pool,
+                    black_box(&atoms),
+                    black_box(&nl),
+                    &bx,
+                    &mut forces,
+                );
+                black_box(out.energy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, force_eval_threads);
+criterion_main!(benches);

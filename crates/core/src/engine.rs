@@ -1,13 +1,16 @@
 //! The functional engine: train or load a Deep Potential model and run MD
 //! with it at any precision, through a builder API.
 
+use std::sync::Arc;
+
 use deepmd::config::DeepPotConfig;
 use deepmd::dataset;
 use deepmd::engine::DpEngine;
 use deepmd::model::DeepPotModel;
 use deepmd::train::{fit_energy_bias, train, TrainConfig};
+use dpmd_threads::ThreadPool;
 use minimd::integrate::{init_velocities, Thermostat, VelocityVerlet};
-use minimd::sim::{Simulation, Thermo};
+use minimd::sim::{Simulation, StepTiming, Thermo};
 use minimd::units::FEMTOSECOND;
 use nnet::precision::Precision;
 
@@ -39,6 +42,7 @@ pub struct EngineBuilder {
     thermostat: bool,
     compression: Option<usize>,
     model: Option<DeepPotModel>,
+    threads: Option<usize>,
 }
 
 impl Default for EngineBuilder {
@@ -54,6 +58,7 @@ impl Default for EngineBuilder {
             thermostat: true,
             compression: None,
             model: None,
+            threads: None,
         }
     }
 }
@@ -124,6 +129,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Run force evaluations on a private pool of `n` threads instead of
+    /// the process-global pool. Results are bit-identical for any `n`
+    /// (chunk-ordered reduction); only wall time changes.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
     /// Train (if needed) and assemble the engine.
     pub fn build(self) -> Engine {
         let model: DeepPotModel = match self.model.clone() {
@@ -178,7 +191,10 @@ impl Engine {
             SystemKind::Water { cells } => minimd::lattice::water_box(cells, cells, cells, b.seed),
         };
         init_velocities(&mut atoms, b.temperature, b.seed);
-        let dp = DpEngine::new(model, b.precision);
+        let mut dp = DpEngine::new(model, b.precision);
+        if let Some(n) = b.threads {
+            dp = dp.with_pool(Arc::new(ThreadPool::new(n)));
+        }
         let mut vv = VelocityVerlet::new(b.timestep_fs * FEMTOSECOND);
         if b.thermostat {
             vv.thermostat = Thermostat::Berendsen { t_target: b.temperature, tau_ps: 0.05 };
@@ -206,6 +222,12 @@ impl Engine {
     /// Simulation, mutable (custom observables).
     pub fn simulation_mut(&mut self) -> &mut Simulation {
         &mut self.sim
+    }
+
+    /// Wall-clock breakdown of the last completed step (zeros before the
+    /// first step).
+    pub fn timing(&self) -> StepTiming {
+        self.sim.timing()
     }
 
     /// The engine's precision mode.
@@ -271,6 +293,39 @@ mod tests {
         for (a, b) in te.iter().zip(&tt) {
             assert!((a.pe - b.pe).abs() < 1e-4, "step {}: {} vs {}", a.step, a.pe, b.pe);
         }
+    }
+
+    #[test]
+    fn explicit_thread_count_matches_global_pool_bitwise() {
+        let model = DeepPotModel::new(DeepPotConfig::tiny(1, 6.0));
+        let mut one =
+            Engine::builder().copper_cells(2).with_model(model.clone()).nve().seed(5).threads(1).build();
+        let mut four =
+            Engine::builder().copper_cells(2).with_model(model).nve().seed(5).threads(4).build();
+        let ta = one.run(10);
+        let tb = four.run(10);
+        for (a, b) in ta.iter().zip(&tb) {
+            assert_eq!(a.pe, b.pe, "step {}", a.step);
+            assert_eq!(a.ke, b.ke, "step {}", a.step);
+            assert_eq!(a.pressure, b.pressure, "step {}", a.step);
+        }
+    }
+
+    #[test]
+    fn step_timing_reports_deep_potential_phases() {
+        let model = DeepPotModel::new(DeepPotConfig::tiny(1, 6.0));
+        let mut engine =
+            Engine::builder().copper_cells(3).with_model(model).nve().threads(2).build();
+        engine.run(3);
+        let t = engine.timing();
+        assert!(t.total_s > 0.0);
+        let dp = t.phases.total();
+        assert!(dp > 0.0, "DP engine must report descriptor/embedding/fitting phases");
+        // The three DP phases ARE the force evaluation, minus only the
+        // zero-fill and buffer plumbing around it.
+        assert!(dp <= t.force_s * 1.01, "phases {dp} vs force {}", t.force_s);
+        assert!(dp >= 0.5 * t.force_s, "phases {dp} vs force {}", t.force_s);
+        assert!(t.phase_sum_s() <= t.total_s * 1.01);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod prelude {
     pub use deepmd::model::DeepPotModel;
     pub use dpmd_scaling::kernels::OptLevel;
     pub use dpmd_scaling::systems::SystemSpec;
-    pub use minimd::sim::Thermo;
+    pub use minimd::sim::{StepTiming, Thermo};
     pub use nnet::precision::Precision;
 }
 

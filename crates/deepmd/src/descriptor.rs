@@ -101,8 +101,25 @@ pub struct Environment {
 ///
 /// Distances beyond `rcut` are filtered here (the Verlet list includes the
 /// skin). Ghost-aware: displacements are direct when ghosts are present,
-/// minimum-image otherwise.
+/// minimum-image otherwise. Runs on the global thread pool; see
+/// [`build_environments_on`] for an explicit pool.
 pub fn build_environments(
+    atoms: &Atoms,
+    nl: &NeighborList,
+    bx: &SimBox,
+    rcut_smth: f64,
+    rcut: f64,
+) -> Vec<Environment> {
+    build_environments_on(dpmd_threads::ThreadPool::global(), atoms, nl, bx, rcut_smth, rcut)
+}
+
+/// [`build_environments`] on an explicit pool. Atoms are chunked by the
+/// even-split policy (a function of the atom count only) and each chunk's
+/// environments are concatenated in chunk order, so the output is
+/// identical — entry for entry — for any pool width: each atom's
+/// environment depends on that atom alone.
+pub fn build_environments_on(
+    pool: &dpmd_threads::ThreadPool,
     atoms: &Atoms,
     nl: &NeighborList,
     bx: &SimBox,
@@ -111,27 +128,36 @@ pub fn build_environments(
 ) -> Vec<Environment> {
     let use_min_image = atoms.nghost() == 0;
     let rc2 = rcut * rcut;
-    (0..atoms.nlocal)
-        .map(|i| {
-            let mut entries = Vec::with_capacity(nl.neighbors(i).len());
-            for &ju in nl.neighbors(i) {
-                let j = ju as usize;
-                let disp = if use_min_image {
-                    bx.min_image(atoms.pos[j], atoms.pos[i])
-                } else {
-                    atoms.pos[j] - atoms.pos[i]
-                };
-                let r2 = disp.norm2();
-                if r2 > rc2 || r2 == 0.0 {
-                    continue;
-                }
-                let r = r2.sqrt();
-                let (s, ds_dr) = smooth(r, rcut_smth, rcut);
-                entries.push(EnvEntry { j: ju, typ: atoms.typ[j], disp, r, s, ds_dr });
+    let env_of = |i: usize| {
+        let mut entries = Vec::with_capacity(nl.neighbors(i).len());
+        for &ju in nl.neighbors(i) {
+            let j = ju as usize;
+            let disp = if use_min_image {
+                bx.min_image(atoms.pos[j], atoms.pos[i])
+            } else {
+                atoms.pos[j] - atoms.pos[i]
+            };
+            let r2 = disp.norm2();
+            if r2 > rc2 || r2 == 0.0 {
+                continue;
             }
-            Environment { entries }
-        })
-        .collect()
+            let r = r2.sqrt();
+            let (s, ds_dr) = smooth(r, rcut_smth, rcut);
+            entries.push(EnvEntry { j: ju, typ: atoms.typ[j], disp, r, s, ds_dr });
+        }
+        Environment { entries }
+    };
+    let chunks = dpmd_threads::atom_chunks(atoms.nlocal);
+    let mut parts: Vec<Vec<Environment>> =
+        chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
+    let env_of = &env_of;
+    pool.scope(|sc| {
+        for (range, part) in chunks.iter().zip(parts.iter_mut()) {
+            let range = range.clone();
+            sc.spawn(move || part.extend(range.map(env_of)));
+        }
+    });
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -11,9 +11,13 @@
 //! Table II and Fig. 6 measure how far the reduced-precision energies and
 //! forces drift from the Double path and from the reference labels.
 
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dpmd_threads::{atom_chunks, ThreadPool};
 use minimd::atoms::Atoms;
 use minimd::neighbor::NeighborList;
-use minimd::potential::{Potential, PotentialOutput};
+use minimd::potential::{ForcePhases, Potential, PotentialOutput};
 use minimd::simbox::SimBox;
 use minimd::vec3::Vec3;
 use nnet::activation::Activation;
@@ -22,7 +26,7 @@ use nnet::gemm::simd;
 use nnet::layers::Resnet;
 use nnet::precision::Precision;
 
-use crate::descriptor::build_environments;
+use crate::descriptor::build_environments_on;
 use crate::model::DeepPotModel;
 
 /// One embedding net with weights cast to f32.
@@ -202,6 +206,14 @@ impl Fit32 {
     }
 }
 
+/// Per-atom intermediates of the f32 embedding pass (Mix32/Mix16 paths).
+struct AtomEmbed32 {
+    g: Vec<f32>,
+    dg_ds: Vec<f32>,
+    t: Vec<f32>,
+    coords: Vec<[f32; 4]>,
+}
+
 /// A precision-parameterized inference engine over a trained model.
 pub struct DpEngine {
     /// The underlying f64 model (reference path and source of weights).
@@ -210,6 +222,11 @@ pub struct DpEngine {
     pub precision: Precision,
     emb32: Vec<Emb32>,
     fit32: Vec<Fit32>,
+    /// Owned pool; falls back to the process-global pool when unset.
+    pool: Option<Arc<ThreadPool>>,
+    /// Phase breakdown of the last evaluation (`compute` takes `&self`, so
+    /// interior mutability is needed to record it).
+    last_phases: Mutex<Option<ForcePhases>>,
 }
 
 impl DpEngine {
@@ -219,7 +236,28 @@ impl DpEngine {
     pub fn new(model: DeepPotModel, precision: Precision) -> Self {
         let emb32 = model.embeddings.iter().map(Emb32::from_model).collect();
         let fit32 = model.fittings.iter().map(Fit32::from_model).collect();
-        DpEngine { model, precision, emb32, fit32 }
+        DpEngine { model, precision, emb32, fit32, pool: None, last_phases: Mutex::new(None) }
+    }
+
+    /// Run all evaluations on the given pool instead of the global one
+    /// (lets one process host engines of different widths, e.g. the
+    /// determinism tests and the scaling bench).
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool evaluations run on.
+    pub fn pool(&self) -> &ThreadPool {
+        match &self.pool {
+            Some(p) => p,
+            None => ThreadPool::global(),
+        }
+    }
+
+    /// Phase breakdown of the most recent evaluation, if any ran yet.
+    pub fn last_phases(&self) -> Option<ForcePhases> {
+        *self.last_phases.lock().unwrap()
     }
 
     /// Total energy at the engine's precision.
@@ -228,7 +266,33 @@ impl DpEngine {
         self.energy_forces(atoms, nl, bx, &mut forces).energy
     }
 
+    /// f32 embedding pass for one atom (Mix32/Mix16).
+    fn embed_atom32(&self, env: &crate::descriptor::Environment) -> AtomEmbed32 {
+        let m1 = self.model.config.m1();
+        let inv_nm = 1.0f32 / self.model.config.nmax as f32;
+        let n = env.entries.len();
+        let mut g = vec![0.0f32; n * m1];
+        let mut dg_ds = vec![0.0f32; n * m1];
+        let mut t = vec![0.0f32; m1 * 4];
+        let mut coords = vec![[0.0f32; 4]; n];
+        for (k, e) in env.entries.iter().enumerate() {
+            let (gv, dgv) = self.emb32[e.typ as usize].forward_with_grad(e.s as f32);
+            let c64 = e.coords();
+            let c = [c64[0] as f32, c64[1] as f32, c64[2] as f32, c64[3] as f32];
+            coords[k] = c;
+            for m in 0..m1 {
+                g[k * m1 + m] = gv[m];
+                dg_ds[k * m1 + m] = dgv[m];
+                for cc in 0..4 {
+                    t[m * 4 + cc] += gv[m] * c[cc] * inv_nm;
+                }
+            }
+        }
+        AtomEmbed32 { g, dg_ds, t, coords }
+    }
+
     /// Energy + forces at the engine's precision (forces accumulated f64).
+    /// Runs on [`pool`](Self::pool); records the phase breakdown.
     pub fn energy_forces(
         &self,
         atoms: &Atoms,
@@ -237,102 +301,144 @@ impl DpEngine {
         forces: &mut [Vec3],
     ) -> PotentialOutput {
         if self.precision == Precision::Double {
-            return self.model.energy_forces(atoms, nl, bx, forces);
+            let (out, phases) = self.model.energy_forces_on(self.pool(), atoms, nl, bx, forces);
+            *self.last_phases.lock().unwrap() = Some(phases);
+            return out;
         }
         let f16_first = self.precision == Precision::Mix16;
         let cfg = &self.model.config;
         let m1 = cfg.m1();
         let m2 = cfg.m2;
         let inv_nm = 1.0f32 / cfg.nmax as f32;
-        let envs = build_environments(atoms, nl, bx, cfg.rcut_smth, cfg.rcut);
+        let pool = self.pool();
+        let mut phases = ForcePhases::default();
 
+        // Pass 1: descriptor.
+        let t0 = Instant::now();
+        let envs = build_environments_on(pool, atoms, nl, bx, cfg.rcut_smth, cfg.rcut);
+        phases.descriptor_s = t0.elapsed().as_secs_f64();
+
+        let chunks = atom_chunks(atoms.nlocal);
+
+        // Pass 2: embedding in f32, intermediates stored per atom.
+        let t0 = Instant::now();
+        let mut emb_parts: Vec<Vec<AtomEmbed32>> =
+            chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
+        {
+            let envs = &envs;
+            pool.scope(|sc| {
+                for (range, part) in chunks.iter().zip(emb_parts.iter_mut()) {
+                    let range = range.clone();
+                    sc.spawn(move || part.extend(range.map(|i| self.embed_atom32(&envs[i]))));
+                }
+            });
+        }
+        let embeds: Vec<AtomEmbed32> = emb_parts.into_iter().flatten().collect();
+        phases.embedding_s = t0.elapsed().as_secs_f64();
+
+        // Pass 3: fitting + backward, one f64 force buffer per chunk,
+        // merged below in chunk order (deterministic fixed-order reduction).
+        let t0 = Instant::now();
+        struct ChunkOut {
+            energy: f64,
+            virial: f64,
+            forces: Vec<Vec3>,
+        }
+        let mut outs: Vec<Option<ChunkOut>> = chunks.iter().map(|_| None).collect();
+        {
+            let (envs, embeds) = (&envs, &embeds);
+            let nall = atoms.len();
+            pool.scope(|sc| {
+                for (range, slot) in chunks.iter().zip(outs.iter_mut()) {
+                    let range = range.clone();
+                    sc.spawn(move || {
+                        let mut buf = vec![Vec3::ZERO; nall];
+                        let mut energy = 0.0f64;
+                        let mut virial = 0.0f64;
+                        for i in range {
+                            let env = &envs[i];
+                            let emb = &embeds[i];
+                            let ti = atoms.typ[i] as usize;
+                            // D in f32.
+                            let t = &emb.t;
+                            let mut d = vec![0.0f32; m1 * m2];
+                            for a in 0..m1 {
+                                for b in 0..m2 {
+                                    let mut acc = 0.0f32;
+                                    for c in 0..4 {
+                                        acc += t[a * 4 + c] * t[b * 4 + c];
+                                    }
+                                    d[a * m2 + b] = acc;
+                                }
+                            }
+                            let (e_fit, de_dd) = self.fit32[ti].energy_and_grad(&d, f16_first);
+                            energy += e_fit as f64 + self.model.energy_bias[ti];
+
+                            // dT.
+                            let mut dt = vec![0.0f32; m1 * 4];
+                            for a in 0..m1 {
+                                for b in 0..m2 {
+                                    let aab = de_dd[a * m2 + b];
+                                    for c in 0..4 {
+                                        dt[a * 4 + c] += aab * t[b * 4 + c];
+                                        dt[b * 4 + c] += aab * t[a * 4 + c];
+                                    }
+                                }
+                            }
+                            // Per-neighbour chain rule; forces in f64.
+                            for (k, e) in env.entries.iter().enumerate() {
+                                let c = emb.coords[k];
+                                let mut de_ds = 0.0f32;
+                                let mut de_drt = [0.0f32; 4];
+                                for m in 0..m1 {
+                                    let mut de_dg = 0.0f32;
+                                    for cc in 0..4 {
+                                        de_dg += dt[m * 4 + cc] * c[cc];
+                                        de_drt[cc] += dt[m * 4 + cc] * emb.g[k * m1 + m];
+                                    }
+                                    de_ds += de_dg * inv_nm * emb.dg_ds[k * m1 + m];
+                                }
+                                for v in &mut de_drt {
+                                    *v *= inv_nm;
+                                }
+                                let grads = e.coord_grads();
+                                let inv_r = 1.0 / e.r;
+                                let dsdd = [
+                                    e.ds_dr * e.disp.x * inv_r,
+                                    e.ds_dr * e.disp.y * inv_r,
+                                    e.ds_dr * e.disp.z * inv_r,
+                                ];
+                                let mut de_dd_vec = Vec3::ZERO;
+                                for axis in 0..3 {
+                                    let mut v = de_ds as f64 * dsdd[axis];
+                                    for cc in 0..4 {
+                                        v += de_drt[cc] as f64 * grads[cc][axis];
+                                    }
+                                    de_dd_vec[axis] = v;
+                                }
+                                let j = e.j as usize;
+                                buf[j] -= de_dd_vec;
+                                buf[i] += de_dd_vec;
+                                virial += de_dd_vec.dot(e.disp);
+                            }
+                        }
+                        *slot = Some(ChunkOut { energy, virial, forces: buf });
+                    });
+                }
+            });
+        }
         let mut total_e = 0.0f64;
         let mut virial = 0.0f64;
-        for i in 0..atoms.nlocal {
-            let env = &envs[i];
-            let n = env.entries.len();
-            let ti = atoms.typ[i] as usize;
-
-            // Embedding + T in f32.
-            let mut g = vec![0.0f32; n * m1];
-            let mut dg_ds = vec![0.0f32; n * m1];
-            let mut t = vec![0.0f32; m1 * 4];
-            let mut coords = vec![[0.0f32; 4]; n];
-            for (k, e) in env.entries.iter().enumerate() {
-                let (gv, dgv) = self.emb32[e.typ as usize].forward_with_grad(e.s as f32);
-                let c64 = e.coords();
-                let c = [c64[0] as f32, c64[1] as f32, c64[2] as f32, c64[3] as f32];
-                coords[k] = c;
-                for m in 0..m1 {
-                    g[k * m1 + m] = gv[m];
-                    dg_ds[k * m1 + m] = dgv[m];
-                    for cc in 0..4 {
-                        t[m * 4 + cc] += gv[m] * c[cc] * inv_nm;
-                    }
-                }
-            }
-            // D in f32.
-            let mut d = vec![0.0f32; m1 * m2];
-            for a in 0..m1 {
-                for b in 0..m2 {
-                    let mut acc = 0.0f32;
-                    for c in 0..4 {
-                        acc += t[a * 4 + c] * t[b * 4 + c];
-                    }
-                    d[a * m2 + b] = acc;
-                }
-            }
-            let (e_fit, de_dd) = self.fit32[ti].energy_and_grad(&d, f16_first);
-            total_e += e_fit as f64 + self.model.energy_bias[ti];
-
-            // dT.
-            let mut dt = vec![0.0f32; m1 * 4];
-            for a in 0..m1 {
-                for b in 0..m2 {
-                    let aab = de_dd[a * m2 + b];
-                    for c in 0..4 {
-                        dt[a * 4 + c] += aab * t[b * 4 + c];
-                        dt[b * 4 + c] += aab * t[a * 4 + c];
-                    }
-                }
-            }
-            // Per-neighbour chain rule; force accumulation in f64.
-            for (k, e) in env.entries.iter().enumerate() {
-                let c = coords[k];
-                let mut de_ds = 0.0f32;
-                let mut de_drt = [0.0f32; 4];
-                for m in 0..m1 {
-                    let mut de_dg = 0.0f32;
-                    for cc in 0..4 {
-                        de_dg += dt[m * 4 + cc] * c[cc];
-                        de_drt[cc] += dt[m * 4 + cc] * g[k * m1 + m];
-                    }
-                    de_ds += de_dg * inv_nm * dg_ds[k * m1 + m];
-                }
-                for v in &mut de_drt {
-                    *v *= inv_nm;
-                }
-                let grads = e.coord_grads();
-                let inv_r = 1.0 / e.r;
-                let dsdd = [
-                    e.ds_dr * e.disp.x * inv_r,
-                    e.ds_dr * e.disp.y * inv_r,
-                    e.ds_dr * e.disp.z * inv_r,
-                ];
-                let mut de_dd_vec = Vec3::ZERO;
-                for axis in 0..3 {
-                    let mut v = de_ds as f64 * dsdd[axis];
-                    for cc in 0..4 {
-                        v += de_drt[cc] as f64 * grads[cc][axis];
-                    }
-                    de_dd_vec[axis] = v;
-                }
-                let j = e.j as usize;
-                forces[j] -= de_dd_vec;
-                forces[i] += de_dd_vec;
-                virial += de_dd_vec.dot(e.disp);
+        for out in outs.into_iter().flatten() {
+            total_e += out.energy;
+            virial += out.virial;
+            for (f, b) in forces.iter_mut().zip(&out.forces) {
+                *f += *b;
             }
         }
+        phases.fitting_s = t0.elapsed().as_secs_f64();
+
+        *self.last_phases.lock().unwrap() = Some(phases);
         PotentialOutput { energy: total_e, virial: -virial }
     }
 }
@@ -358,6 +464,10 @@ impl Potential for DpEngine {
             Precision::Mix32 => "deep-potential (MIX-fp32)",
             Precision::Mix16 => "deep-potential (MIX-fp16)",
         }
+    }
+
+    fn phase_times(&self) -> Option<ForcePhases> {
+        self.last_phases()
     }
 }
 
@@ -425,6 +535,28 @@ mod tests {
         let d16 = rms(&f64p, &f16p);
         assert!(d32 > 0.0 && d32 < 1e-4, "fp32 force deviation {d32:.3e}");
         assert!(d16 >= d32 && d16 < 1e-2, "fp16 force deviation {d16:.3e}");
+    }
+
+    #[test]
+    fn mixed_precision_is_bit_identical_across_pool_widths() {
+        let (model, bx, atoms, nl) = setup();
+        for precision in [Precision::Mix32, Precision::Mix16] {
+            let serial =
+                DpEngine::new(model.clone(), precision).with_pool(Arc::new(ThreadPool::serial()));
+            let mut f_ref = vec![Vec3::ZERO; atoms.len()];
+            let out_ref = serial.energy_forces(&atoms, &nl, &bx, &mut f_ref);
+            let phases = serial.last_phases().expect("phases recorded");
+            assert!(phases.total() > 0.0);
+            for threads in [3usize, 6] {
+                let eng = DpEngine::new(model.clone(), precision)
+                    .with_pool(Arc::new(ThreadPool::new(threads)));
+                let mut f = vec![Vec3::ZERO; atoms.len()];
+                let out = eng.energy_forces(&atoms, &nl, &bx, &mut f);
+                assert_eq!(out_ref.energy, out.energy, "{precision:?} {threads} threads");
+                assert_eq!(out_ref.virial, out.virial, "{precision:?} {threads} threads");
+                assert_eq!(f_ref, f, "{precision:?} {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! and TensorFlow-graph execution paths (crate modules [`crate::engine`] and
 //! the `nnet::graph` baseline) are validated against it.
 
+use std::time::Instant;
+
+use dpmd_threads::{atom_chunks, ThreadPool};
 use minimd::atoms::Atoms;
 use minimd::neighbor::NeighborList;
-use minimd::potential::{Potential, PotentialOutput};
+use minimd::potential::{ForcePhases, Potential, PotentialOutput};
 use minimd::simbox::SimBox;
 use minimd::vec3::Vec3;
 use nnet::matrix::Matrix;
@@ -15,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::compress::CompressedEmbedding;
 use crate::config::DeepPotConfig;
-use crate::descriptor::{build_environments, Environment};
+use crate::descriptor::{build_environments, build_environments_on, Environment};
 use crate::embedding::EmbeddingNet;
 use crate::fitting::FittingNet;
 
@@ -37,19 +40,17 @@ pub struct DeepPotModel {
     pub compressed: Option<Vec<CompressedEmbedding>>,
 }
 
-/// Everything the backward pass needs about one atom's forward evaluation.
-struct AtomForward {
+/// Per-atom intermediates of the embedding pass, stored between the
+/// embedding and fitting phases of the pipeline.
+struct AtomEmbed {
     /// Per-neighbour embedding features (n × M₁, row-major).
     g: Vec<f64>,
     /// Per-neighbour feature derivative w.r.t. s (n × M₁).
     dg_ds: Vec<f64>,
     /// T = GᵀR̃/nmax (M₁ × 4, row-major).
     t: Vec<f64>,
-    /// Atomic energy.
-    energy: f64,
-    /// ∂E/∂D (M₁ × M₂, row-major).
-    de_dd: Vec<f64>,
 }
+
 
 impl DeepPotModel {
     /// A freshly initialized (untrained) model.
@@ -113,13 +114,12 @@ impl DeepPotModel {
         serde_json::from_str(s)
     }
 
-    /// Forward pass for one atom's environment: features, T, energy, ∂E/∂D.
-    fn forward_atom(&self, typ: u32, env: &Environment) -> AtomForward {
+    /// Embedding pass for one atom: per-neighbour features, their
+    /// s-derivatives, and T = GᵀR̃/nmax.
+    fn embed_atom(&self, env: &Environment) -> AtomEmbed {
         let m1 = self.config.m1();
-        let m2 = self.config.m2;
         let n = env.entries.len();
         let inv_nm = 1.0 / self.config.nmax as f64;
-
         let mut g = vec![0.0; n * m1];
         let mut dg_ds = vec![0.0; n * m1];
         let mut t = vec![0.0; m1 * 4];
@@ -134,7 +134,14 @@ impl DeepPotModel {
                 }
             }
         }
-        // D = T · T₂ᵀ (M₁ × M₂).
+        AtomEmbed { g, dg_ds, t }
+    }
+
+    /// Fitting pass for one atom: D = T·T₂ᵀ, energy, and ∂E/∂D.
+    fn fit_atom(&self, typ: u32, emb: &AtomEmbed) -> (f64, Vec<f64>) {
+        let m1 = self.config.m1();
+        let m2 = self.config.m2;
+        let t = &emb.t;
         let mut d = vec![0.0; m1 * m2];
         for a in 0..m1 {
             for b in 0..m2 {
@@ -147,33 +154,106 @@ impl DeepPotModel {
         }
         let dm = Matrix::from_vec(1, m1 * m2, d);
         let (e_out, de_dd_m) = self.fittings[typ as usize].energy_and_grad(&dm);
-        AtomForward {
-            g,
-            dg_ds,
-            t,
-            energy: e_out[0] + self.energy_bias[typ as usize],
-            de_dd: de_dd_m.into_vec(),
-        }
+        (e_out[0] + self.energy_bias[typ as usize], de_dd_m.into_vec())
+    }
+
+    /// Forward pass for one atom's environment: its atomic energy.
+    fn atom_energy(&self, typ: u32, env: &Environment) -> f64 {
+        self.fit_atom(typ, &self.embed_atom(env)).0
     }
 
     /// Total energy only (no forces) — used by finite-difference tests and
     /// the trainer's loss evaluation.
     pub fn energy(&self, atoms: &Atoms, nl: &NeighborList, bx: &SimBox) -> f64 {
         let envs = build_environments(atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
-        (0..atoms.nlocal).map(|i| self.forward_atom(atoms.typ[i], &envs[i]).energy).sum()
+        (0..atoms.nlocal).map(|i| self.atom_energy(atoms.typ[i], &envs[i])).sum()
     }
 
     /// Per-atom energies (for training-bias fitting and diagnostics).
     pub fn atomic_energies(&self, atoms: &Atoms, nl: &NeighborList, bx: &SimBox) -> Vec<f64> {
         let envs = build_environments(atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
-        (0..atoms.nlocal).map(|i| self.forward_atom(atoms.typ[i], &envs[i]).energy).collect()
+        (0..atoms.nlocal).map(|i| self.atom_energy(atoms.typ[i], &envs[i])).collect()
+    }
+
+    /// Fitting + backward pass for one atom: energy out; force and virial
+    /// contributions accumulated into `forces` / `virial`. `dt` is caller
+    /// scratch of length M₁·4.
+    fn fit_backward_atom(
+        &self,
+        i: usize,
+        typ: u32,
+        env: &Environment,
+        emb: &AtomEmbed,
+        dt: &mut [f64],
+        forces: &mut [Vec3],
+        virial: &mut f64,
+    ) -> f64 {
+        let m1 = self.config.m1();
+        let m2 = self.config.m2;
+        let inv_nm = 1.0 / self.config.nmax as f64;
+        let (energy, de_dd_fit) = self.fit_atom(typ, emb);
+
+        // ∂E/∂T: dT[a][c] = Σ_b A[a][b]·T₂[b][c]; rows b < M₂ gain
+        // Σ_a A[a][b]·T[a][c] from the T₂ factor.
+        dt.iter_mut().for_each(|x| *x = 0.0);
+        for a in 0..m1 {
+            for b in 0..m2 {
+                let aab = de_dd_fit[a * m2 + b];
+                for c in 0..4 {
+                    dt[a * 4 + c] += aab * emb.t[b * 4 + c];
+                    dt[b * 4 + c] += aab * emb.t[a * 4 + c];
+                }
+            }
+        }
+
+        // Per-neighbour chain rule.
+        for (k, e) in env.entries.iter().enumerate() {
+            // ∂E/∂g_k and ∂E/∂R̃_k.
+            let coords = e.coords();
+            let mut de_ds = 0.0;
+            let mut de_drt = [0.0; 4];
+            for m in 0..m1 {
+                let mut de_dg = 0.0;
+                for c in 0..4 {
+                    de_dg += dt[m * 4 + c] * coords[c];
+                    de_drt[c] += dt[m * 4 + c] * emb.g[k * m1 + m];
+                }
+                de_ds += de_dg * inv_nm * emb.dg_ds[k * m1 + m];
+            }
+            for v in &mut de_drt {
+                *v *= inv_nm;
+            }
+            // ∂E/∂d through the generalized coordinates and through s.
+            let grads = e.coord_grads();
+            let inv_r = 1.0 / e.r;
+            let dsdd = [
+                e.ds_dr * e.disp.x * inv_r,
+                e.ds_dr * e.disp.y * inv_r,
+                e.ds_dr * e.disp.z * inv_r,
+            ];
+            let mut de_dd = Vec3::ZERO;
+            for axis in 0..3 {
+                let mut v = de_ds * dsdd[axis];
+                for c in 0..4 {
+                    v += de_drt[c] * grads[c][axis];
+                }
+                de_dd[axis] = v;
+            }
+            // d = r_j − r_i: force on j is −∂E/∂d, reaction on i is +.
+            let j = e.j as usize;
+            forces[j] -= de_dd;
+            forces[i] += de_dd;
+            *virial += de_dd.dot(e.disp);
+        }
+        energy
     }
 
     /// Energy, forces, and virial via the full analytic backward pass.
     ///
     /// Forces are accumulated into `forces` (length = atoms.len(), ghosts
     /// included — ghost forces must be reverse-communicated by the caller in
-    /// distributed runs, "Newton's law on").
+    /// distributed runs, "Newton's law on"). Runs on the global thread pool;
+    /// see [`energy_forces_on`](Self::energy_forces_on).
     pub fn energy_forces(
         &self,
         atoms: &Atoms,
@@ -181,74 +261,106 @@ impl DeepPotModel {
         bx: &SimBox,
         forces: &mut [Vec3],
     ) -> PotentialOutput {
+        self.energy_forces_on(ThreadPool::global(), atoms, nl, bx, forces).0
+    }
+
+    /// [`energy_forces`](Self::energy_forces) on an explicit pool, with the
+    /// per-phase wall-time breakdown of the evaluation.
+    ///
+    /// The pipeline runs as three barrier-separated parallel passes —
+    /// descriptor, embedding, fitting+backward — with atoms chunked by the
+    /// even-split policy of `dpmd_balance::assign`. Chunk boundaries depend
+    /// on the atom count only, every per-atom intermediate lands at a fixed
+    /// index, and each fitting chunk accumulates forces into its own
+    /// full-length buffer; the buffers (and per-chunk energy/virial
+    /// partials) are then merged by this thread in chunk order. The result
+    /// is therefore bit-identical for any pool width, including the
+    /// 1-thread pool that serves as the serial reference.
+    pub fn energy_forces_on(
+        &self,
+        pool: &ThreadPool,
+        atoms: &Atoms,
+        nl: &NeighborList,
+        bx: &SimBox,
+        forces: &mut [Vec3],
+    ) -> (PotentialOutput, ForcePhases) {
         assert!(forces.len() >= atoms.len());
         let m1 = self.config.m1();
-        let m2 = self.config.m2;
-        let inv_nm = 1.0 / self.config.nmax as f64;
-        let envs = build_environments(atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
+        let mut phases = ForcePhases::default();
 
+        // Pass 1: descriptor (environment matrices).
+        let t0 = Instant::now();
+        let envs =
+            build_environments_on(pool, atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
+        phases.descriptor_s = t0.elapsed().as_secs_f64();
+
+        let chunks = atom_chunks(atoms.nlocal);
+
+        // Pass 2: embedding nets (the GEMM-heavy phase), intermediates
+        // stored per atom.
+        let t0 = Instant::now();
+        let mut emb_parts: Vec<Vec<AtomEmbed>> =
+            chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
+        {
+            let envs = &envs;
+            pool.scope(|sc| {
+                for (range, part) in chunks.iter().zip(emb_parts.iter_mut()) {
+                    let range = range.clone();
+                    sc.spawn(move || part.extend(range.map(|i| self.embed_atom(&envs[i]))));
+                }
+            });
+        }
+        let embeds: Vec<AtomEmbed> = emb_parts.into_iter().flatten().collect();
+        phases.embedding_s = t0.elapsed().as_secs_f64();
+
+        // Pass 3: fitting nets + force backward, one force buffer per chunk.
+        let t0 = Instant::now();
+        struct ChunkOut {
+            energy: f64,
+            virial: f64,
+            forces: Vec<Vec3>,
+        }
+        let mut outs: Vec<Option<ChunkOut>> = chunks.iter().map(|_| None).collect();
+        {
+            let (envs, embeds) = (&envs, &embeds);
+            let nall = atoms.len();
+            pool.scope(|sc| {
+                for (range, slot) in chunks.iter().zip(outs.iter_mut()) {
+                    let range = range.clone();
+                    sc.spawn(move || {
+                        let mut buf = vec![Vec3::ZERO; nall];
+                        let mut energy = 0.0;
+                        let mut virial = 0.0;
+                        let mut dt = vec![0.0; m1 * 4];
+                        for i in range {
+                            energy += self.fit_backward_atom(
+                                i,
+                                atoms.typ[i],
+                                &envs[i],
+                                &embeds[i],
+                                &mut dt,
+                                &mut buf,
+                                &mut virial,
+                            );
+                        }
+                        *slot = Some(ChunkOut { energy, virial, forces: buf });
+                    });
+                }
+            });
+        }
+        // Deterministic fixed-order reduction: merge in chunk order.
         let mut total_e = 0.0;
         let mut virial = 0.0;
-        let mut dt = vec![0.0; m1 * 4];
-        for i in 0..atoms.nlocal {
-            let env = &envs[i];
-            let fwd = self.forward_atom(atoms.typ[i], env);
-            total_e += fwd.energy;
-
-            // ∂E/∂T: dT[a][c] = Σ_b A[a][b]·T₂[b][c]; rows b < M₂ gain
-            // Σ_a A[a][b]·T[a][c] from the T₂ factor.
-            dt.iter_mut().for_each(|x| *x = 0.0);
-            for a in 0..m1 {
-                for b in 0..m2 {
-                    let aab = fwd.de_dd[a * m2 + b];
-                    for c in 0..4 {
-                        dt[a * 4 + c] += aab * fwd.t[b * 4 + c];
-                        dt[b * 4 + c] += aab * fwd.t[a * 4 + c];
-                    }
-                }
-            }
-
-            // Per-neighbour chain rule.
-            for (k, e) in env.entries.iter().enumerate() {
-                // ∂E/∂g_k and ∂E/∂R̃_k.
-                let coords = e.coords();
-                let mut de_ds = 0.0;
-                let mut de_drt = [0.0; 4];
-                for m in 0..m1 {
-                    let mut de_dg = 0.0;
-                    for c in 0..4 {
-                        de_dg += dt[m * 4 + c] * coords[c];
-                        de_drt[c] += dt[m * 4 + c] * fwd.g[k * m1 + m];
-                    }
-                    de_ds += de_dg * inv_nm * fwd.dg_ds[k * m1 + m];
-                }
-                for v in &mut de_drt {
-                    *v *= inv_nm;
-                }
-                // ∂E/∂d through the generalized coordinates and through s.
-                let grads = e.coord_grads();
-                let inv_r = 1.0 / e.r;
-                let dsdd = [
-                    e.ds_dr * e.disp.x * inv_r,
-                    e.ds_dr * e.disp.y * inv_r,
-                    e.ds_dr * e.disp.z * inv_r,
-                ];
-                let mut de_dd = Vec3::ZERO;
-                for axis in 0..3 {
-                    let mut v = de_ds * dsdd[axis];
-                    for c in 0..4 {
-                        v += de_drt[c] * grads[c][axis];
-                    }
-                    de_dd[axis] = v;
-                }
-                // d = r_j − r_i: force on j is −∂E/∂d, reaction on i is +.
-                let j = e.j as usize;
-                forces[j] -= de_dd;
-                forces[i] += de_dd;
-                virial += de_dd.dot(e.disp);
+        for out in outs.into_iter().flatten() {
+            total_e += out.energy;
+            virial += out.virial;
+            for (f, b) in forces.iter_mut().zip(&out.forces) {
+                *f += *b;
             }
         }
-        PotentialOutput { energy: total_e, virial: -virial }
+        phases.fitting_s = t0.elapsed().as_secs_f64();
+
+        (PotentialOutput { energy: total_e, virial: -virial }, phases)
     }
 }
 
@@ -423,6 +535,33 @@ mod tests {
         model.disable_compression();
         let (e_back, _) = eval(&model, &bx, &mut atoms);
         assert_eq!(e_back, e_exact, "disable restores the exact path");
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_across_pool_widths() {
+        // The chunk structure is a function of the atom count only and the
+        // reduction merges per-chunk buffers in chunk order, so every pool
+        // width — including the 1-thread serial reference — must produce
+        // the same bits.
+        let model = tiny_cu_model();
+        let (bx, mut atoms) = fcc_copper(4, 4, 4);
+        for (k, p) in atoms.pos.iter_mut().enumerate() {
+            p.y += 0.03 * ((k % 5) as f64 - 2.0);
+        }
+        let mut nl = NeighborList::new(model.config.rcut, 1.0, ListKind::Full);
+        nl.build(&atoms, &bx);
+        let serial = dpmd_threads::ThreadPool::serial();
+        let mut f_ref = vec![Vec3::ZERO; atoms.len()];
+        let (out_ref, phases) = model.energy_forces_on(&serial, &atoms, &nl, &bx, &mut f_ref);
+        assert!(phases.total() > 0.0, "phases must be timed");
+        for threads in [2usize, 4, 7] {
+            let pool = dpmd_threads::ThreadPool::new(threads);
+            let mut f = vec![Vec3::ZERO; atoms.len()];
+            let (out, _) = model.energy_forces_on(&pool, &atoms, &nl, &bx, &mut f);
+            assert_eq!(out_ref.energy, out.energy, "{threads} threads");
+            assert_eq!(out_ref.virial, out.virial, "{threads} threads");
+            assert_eq!(f_ref, f, "{threads} threads");
+        }
     }
 
     #[test]

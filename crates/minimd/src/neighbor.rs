@@ -183,9 +183,6 @@ impl NeighborList {
             cursor[c] += 1;
         }
 
-        self.offsets.clear();
-        self.offsets.push(0);
-        self.list.clear();
         let mut stencil: Vec<(i64, i64, i64)> = Vec::with_capacity(27);
         for dx in -1i64..=1 {
             for dy in -1i64..=1 {
@@ -194,60 +191,93 @@ impl NeighborList {
                 }
             }
         }
-        for i in 0..nlocal {
-            let ci = cell_of(atoms.pos[i]);
-            for &(dx, dy, dz) in &stencil {
-                let mut cc = [0usize; 3];
-                let mut skip = false;
-                for (d, delta) in [dx, dy, dz].into_iter().enumerate() {
-                    let raw = ci[d] as i64 + delta;
-                    if use_min_image {
-                        // Periodic wrap of the cell index.
-                        cc[d] = raw.rem_euclid(nc[d] as i64) as usize;
-                    } else if raw < 0 || raw >= nc[d] as i64 {
-                        skip = true;
-                        break;
-                    } else {
-                        cc[d] = raw as usize;
-                    }
+
+        // Parallel stencil scan. Atoms are chunked by the even-split policy
+        // (boundaries depend on `nlocal` only, never on the pool width);
+        // each chunk fills a private (ends, list) segment and the segments
+        // are concatenated in chunk order below, so the CSR output is
+        // identical to a serial scan for any thread count.
+        let kind = self.kind;
+        let chunks = dpmd_threads::atom_chunks(nlocal);
+        let mut parts: Vec<(Vec<usize>, Vec<u32>)> =
+            chunks.iter().map(|c| (Vec::with_capacity(c.len()), Vec::new())).collect();
+        {
+            let (pos, stencil, count, bins) = (&atoms.pos, &stencil, &count, &bins);
+            let cell_of = &cell_of;
+            dpmd_threads::ThreadPool::global().scope(|sc| {
+                for (range, part) in chunks.iter().zip(parts.iter_mut()) {
+                    let range = range.clone();
+                    sc.spawn(move || {
+                        let (ends, list) = part;
+                        for i in range {
+                            let ci = cell_of(pos[i]);
+                            let atom_start = list.len();
+                            for &(dx, dy, dz) in stencil {
+                                let mut cc = [0usize; 3];
+                                let mut skip = false;
+                                for (d, delta) in [dx, dy, dz].into_iter().enumerate() {
+                                    let raw = ci[d] as i64 + delta;
+                                    if use_min_image {
+                                        // Periodic wrap of the cell index.
+                                        cc[d] = raw.rem_euclid(nc[d] as i64) as usize;
+                                    } else if raw < 0 || raw >= nc[d] as i64 {
+                                        skip = true;
+                                        break;
+                                    } else {
+                                        cc[d] = raw as usize;
+                                    }
+                                }
+                                if skip {
+                                    continue;
+                                }
+                                let c = lin(cc);
+                                for &ju in &bins[count[c]..count[c + 1]] {
+                                    let j = ju as usize;
+                                    if j == i {
+                                        continue;
+                                    }
+                                    if kind == ListKind::Half && j < nlocal && j < i {
+                                        continue;
+                                    }
+                                    let d2 = if use_min_image {
+                                        bx.dist2(pos[i], pos[j])
+                                    } else {
+                                        (pos[i] - pos[j]).norm2()
+                                    };
+                                    if d2 <= rlist2 {
+                                        list.push(ju);
+                                    }
+                                }
+                            }
+                            // With periodic cell wrap and fewer than 3 cells
+                            // per dimension a neighbour cell can be visited
+                            // twice; dedup the freshly added span to stay
+                            // correct in that regime.
+                            let span = &mut list[atom_start..];
+                            span.sort_unstable();
+                            let mut w = 0;
+                            for r in 0..span.len() {
+                                if r == 0 || span[r] != span[w - 1] {
+                                    span[w] = span[r];
+                                    w += 1;
+                                }
+                            }
+                            list.truncate(atom_start + w);
+                            ends.push(list.len());
+                        }
+                    });
                 }
-                if skip {
-                    continue;
-                }
-                let c = lin(cc);
-                for &ju in &bins[count[c]..count[c + 1]] {
-                    let j = ju as usize;
-                    if j == i {
-                        continue;
-                    }
-                    if self.kind == ListKind::Half && j < nlocal && j < i {
-                        continue;
-                    }
-                    let d2 = if use_min_image {
-                        bx.dist2(atoms.pos[i], atoms.pos[j])
-                    } else {
-                        (atoms.pos[i] - atoms.pos[j]).norm2()
-                    };
-                    if d2 <= rlist2 {
-                        self.list.push(ju);
-                    }
-                }
-            }
-            // With periodic cell wrap and fewer than 3 cells per dimension a
-            // neighbour cell can be visited twice; dedup the freshly added
-            // span to stay correct in that regime.
-            let start = self.offsets[self.offsets.len() - 1];
-            let span = &mut self.list[start..];
-            span.sort_unstable();
-            let mut w = 0;
-            for r in 0..span.len() {
-                if r == 0 || span[r] != span[w - 1] {
-                    span[w] = span[r];
-                    w += 1;
-                }
-            }
-            self.list.truncate(start + w);
-            self.offsets.push(self.list.len());
+            });
+        }
+
+        // Chunk-ordered merge into the CSR arrays.
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.list.clear();
+        for (ends, list) in &parts {
+            let base = self.list.len();
+            self.list.extend_from_slice(list);
+            self.offsets.extend(ends.iter().map(|&e| base + e));
         }
     }
 }

@@ -32,6 +32,27 @@ pub struct PotentialOutput {
     pub virial: f64,
 }
 
+/// Wall-clock breakdown of one force evaluation into the pipeline phases
+/// the paper profiles (§IV): descriptor (environment-matrix) assembly,
+/// embedding-net inference, and fitting-net inference plus the force
+/// backward pass. All in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ForcePhases {
+    /// Environment-matrix construction (smooth switching, displacements).
+    pub descriptor_s: f64,
+    /// Embedding-net forward + gradient (the GEMM-heavy phase).
+    pub embedding_s: f64,
+    /// Fitting-net forward/backward and the per-neighbour chain rule.
+    pub fitting_s: f64,
+}
+
+impl ForcePhases {
+    /// Sum of the recorded phases.
+    pub fn total(&self) -> f64 {
+        self.descriptor_s + self.embedding_s + self.fitting_s
+    }
+}
+
 /// A force field evaluated over a neighbour list.
 ///
 /// Implementations add forces into `atoms.force` (callers zero it first) and
@@ -47,6 +68,13 @@ pub trait Potential: Send + Sync {
 
     /// Human-readable name for logs.
     fn name(&self) -> &'static str;
+
+    /// Per-phase wall times of the most recent [`compute`](Self::compute)
+    /// call, when the implementation records them (the Deep Potential
+    /// engine does; analytic pair potentials return `None`).
+    fn phase_times(&self) -> Option<ForcePhases> {
+        None
+    }
 }
 
 /// Minimum-image or direct displacement depending on ghost presence —

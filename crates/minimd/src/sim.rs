@@ -7,11 +7,13 @@
 //! and by training-data generation; the at-scale distributed behaviour is
 //! modelled by the `comm`/`scaling` crates.
 
+use std::time::Instant;
+
 use crate::atoms::Atoms;
 use crate::compute::pressure_bar;
 use crate::integrate::{current_temperature, kinetic_energy, VelocityVerlet};
 use crate::neighbor::{ListKind, NeighborList};
-use crate::potential::Potential;
+use crate::potential::{ForcePhases, Potential};
 use crate::simbox::SimBox;
 
 /// Thermodynamic snapshot after a step.
@@ -31,6 +33,33 @@ pub struct Thermo {
     pub pressure: f64,
 }
 
+/// Wall-clock breakdown of one simulation step, from monotonic
+/// ([`Instant`]) timers around each phase of [`Simulation::step`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepTiming {
+    /// Step index this timing belongs to.
+    pub step: u64,
+    /// Neighbour-list rebuild (zero on steps that reuse the list), s.
+    pub neighbor_s: f64,
+    /// Whole force evaluation (descriptor + embedding + fitting for DP), s.
+    pub force_s: f64,
+    /// Sub-phases of the force evaluation, when the potential reports them.
+    pub phases: ForcePhases,
+    /// Both velocity-Verlet half-kicks plus the drift/position update, s.
+    pub integrate_s: f64,
+    /// Full step wall time, s.
+    pub total_s: f64,
+}
+
+impl StepTiming {
+    /// Sum of the attributed phases (neighbor + force + integrate), s.
+    /// Compare against [`total_s`](Self::total_s) to see unattributed time
+    /// (thermo bookkeeping, rebuild checks).
+    pub fn phase_sum_s(&self) -> f64 {
+        self.neighbor_s + self.force_s + self.integrate_s
+    }
+}
+
 /// A complete single-box simulation.
 pub struct Simulation {
     /// Periodic box.
@@ -47,6 +76,10 @@ pub struct Simulation {
     pub rebuild_every: u64,
     step: u64,
     last: Thermo,
+    /// Virial of the last force evaluation, kept so KE-dependent outputs
+    /// (pressure included) can be refreshed after the final Verlet kick.
+    last_virial: f64,
+    last_timing: StepTiming,
 }
 
 impl Simulation {
@@ -61,8 +94,18 @@ impl Simulation {
         rebuild_every: u64,
     ) -> Self {
         let nl = NeighborList::new(potential.cutoff(), skin, ListKind::Full);
-        let mut sim =
-            Simulation { bx, atoms, potential, integrator, nl, rebuild_every, step: 0, last: Thermo::default() };
+        let mut sim = Simulation {
+            bx,
+            atoms,
+            potential,
+            integrator,
+            nl,
+            rebuild_every,
+            step: 0,
+            last: Thermo::default(),
+            last_virial: 0.0,
+            last_timing: StepTiming::default(),
+        };
         sim.nl.build(&sim.atoms, &sim.bx);
         sim.recompute_forces();
         sim
@@ -78,6 +121,12 @@ impl Simulation {
         self.last
     }
 
+    /// Wall-clock breakdown of the last completed step (zeros before the
+    /// first [`step`](Self::step) call).
+    pub fn timing(&self) -> StepTiming {
+        self.last_timing
+    }
+
     fn recompute_forces(&mut self) -> f64 {
         self.atoms.zero_forces();
         let out = self.potential.compute(&mut self.atoms, &self.nl, &self.bx);
@@ -90,25 +139,49 @@ impl Simulation {
             temperature: current_temperature(&self.atoms),
             pressure: pressure_bar(&self.atoms, &self.bx, ke, out.virial),
         };
+        self.last_virial = out.virial;
         out.energy
     }
 
     /// Advance one velocity-Verlet step.
     pub fn step(&mut self) -> Thermo {
+        let t_step = Instant::now();
+        let mut timing = StepTiming::default();
+
+        let t0 = Instant::now();
         self.integrator.first_half(&mut self.atoms, &self.bx);
+        timing.integrate_s += t0.elapsed().as_secs_f64();
+
         let cadence_hit = self.rebuild_every > 0 && (self.step + 1) % self.rebuild_every == 0;
         if cadence_hit || self.nl.needs_rebuild(&self.atoms, &self.bx) {
+            let t0 = Instant::now();
             self.nl.build(&self.atoms, &self.bx);
+            timing.neighbor_s = t0.elapsed().as_secs_f64();
         }
+
+        let t0 = Instant::now();
         self.recompute_forces();
+        timing.force_s = t0.elapsed().as_secs_f64();
+        timing.phases = self.potential.phase_times().unwrap_or_default();
+
+        let t0 = Instant::now();
         self.integrator.second_half(&mut self.atoms);
-        // Refresh KE-dependent outputs after the final kick.
+        timing.integrate_s += t0.elapsed().as_secs_f64();
+
+        // Refresh KE-dependent outputs after the final kick. The pressure's
+        // kinetic term changes with the kick too: recompute it from the
+        // stored virial so the snapshot is self-consistent (pe, ke, T and P
+        // all describe the post-kick state).
         let ke = kinetic_energy(&self.atoms);
         self.last.ke = ke;
         self.last.etotal = self.last.pe + ke;
         self.last.temperature = current_temperature(&self.atoms);
+        self.last.pressure = pressure_bar(&self.atoms, &self.bx, ke, self.last_virial);
         self.step += 1;
         self.last.step = self.step;
+        timing.step = self.step;
+        timing.total_s = t_step.elapsed().as_secs_f64();
+        self.last_timing = timing;
         self.last
     }
 
@@ -177,6 +250,46 @@ mod tests {
         let scale = sim.atoms.nlocal as f64; // per-atom drift
         let drift = ((e1 - e0) / scale).abs();
         assert!(drift < 2e-4, "per-atom drift {drift}");
+    }
+
+    #[test]
+    fn thermo_snapshot_is_self_consistent_after_kick() {
+        // Regression: the post-kick refresh used to update ke/etotal/T but
+        // leave `pressure` carrying the pre-kick kinetic term. Every field
+        // of the snapshot must describe the same (post-kick) state.
+        let (bx, mut atoms) = crate::lattice::fcc_lattice(4, 4, 4, 5.3);
+        init_velocities(&mut atoms, 120.0, 9);
+        let lj = LennardJones::argon_like();
+        let mut sim =
+            Simulation::new(bx, atoms, Box::new(lj), VelocityVerlet::new(2.0 * FEMTOSECOND), 1.0, 50);
+        for _ in 0..5 {
+            let th = sim.step();
+            let ke = kinetic_energy(&sim.atoms);
+            assert_eq!(th.ke, ke);
+            assert_eq!(th.etotal, th.pe + ke);
+            assert_eq!(
+                th.pressure,
+                pressure_bar(&sim.atoms, &sim.bx, ke, sim.last_virial),
+                "pressure must use the refreshed kinetic energy"
+            );
+        }
+    }
+
+    #[test]
+    fn step_timing_is_recorded_and_phases_fit_in_total() {
+        let (bx, mut atoms) = fcc_copper(4, 4, 4);
+        init_velocities(&mut atoms, 100.0, 11);
+        let sc = SuttonChen::copper(6.5);
+        let mut sim = Simulation::new(bx, atoms, Box::new(sc), VelocityVerlet::new(FEMTOSECOND), 2.0, 50);
+        assert_eq!(sim.timing().total_s, 0.0, "no timing before the first step");
+        sim.step();
+        let t = sim.timing();
+        assert_eq!(t.step, 1);
+        assert!(t.total_s > 0.0);
+        assert!(t.force_s > 0.0, "force evaluation must be timed");
+        assert!(t.phase_sum_s() <= t.total_s, "{} vs {}", t.phase_sum_s(), t.total_s);
+        // Analytic potentials report no sub-phases.
+        assert_eq!(t.phases, crate::potential::ForcePhases::default());
     }
 
     #[test]

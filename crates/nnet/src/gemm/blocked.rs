@@ -18,6 +18,14 @@ macro_rules! blocked_nn {
         /// `C = A·B` with `A: m×k`, `B: k×n`, `C: m×n`, row-major, blocked
         /// over (k, n) with an i-k-j inner order.
         ///
+        /// # Output contract
+        /// `C[..m*n]` is **overwritten**: whatever the buffer held on entry is
+        /// discarded (this kernel zero-fills, then accumulates block
+        /// contributions). All GEMM families in [`crate::gemm`] share this
+        /// contract — callers may pass an uninitialized or reused scratch
+        /// buffer without clearing it first. `β ≠ 0` (BLAS-style `C += A·B`)
+        /// is deliberately not offered.
+        ///
         /// # Panics
         /// If any slice is shorter than its shape requires.
         pub fn $name(m: usize, n: usize, k: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
@@ -54,6 +62,11 @@ macro_rules! blocked_nt {
         /// NT form: each output element is a dot product over contiguous rows
         /// of both `A` and `B`; good locality but no row-level reuse of `C`,
         /// which is why BLAS NT lags NN at small sizes (§III-B2).
+        ///
+        /// # Output contract
+        /// `C[..m*n]` is **overwritten**: every element is assigned exactly
+        /// once, so entry contents never leak into the result. Same contract
+        /// as the NN kernels — scratch buffers need no pre-clearing.
         ///
         /// # Panics
         /// If any slice is shorter than its shape requires.

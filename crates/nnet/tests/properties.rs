@@ -77,6 +77,49 @@ proptest! {
         }
     }
 
+    /// The blocked kernels *overwrite* `C`: pre-filling the output buffer
+    /// with garbage must not change the result. Pins the output contract
+    /// shared by all GEMM families (no BLAS-style `β` accumulation).
+    #[test]
+    fn gemm_overwrites_garbage_prefilled_c(
+        m in 1usize..6,
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed ^ 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a: Vec<f64> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| next()).collect();
+        // Same B data reinterpreted n×k for the NT form's reference.
+        let bt: Vec<f64> = (0..n * k).map(|_| next()).collect();
+
+        let mut c_ref = vec![0.0; m * n];
+        let mut c_dirty: Vec<f64> = (0..m * n).map(|_| next() * 1e6 + 7.0).collect();
+        naive::gemm_nn_f64(m, n, k, &a, &b, &mut c_ref);
+        blocked::gemm_nn_f64(m, n, k, &a, &b, &mut c_dirty);
+        for i in 0..m * n {
+            prop_assert!(
+                (c_ref[i] - c_dirty[i]).abs() < 1e-10,
+                "NN leaked prior C contents at {}: {} vs {}", i, c_ref[i], c_dirty[i]
+            );
+        }
+
+        let mut c_ref_nt = vec![0.0; m * n];
+        let mut c_dirty_nt: Vec<f64> = (0..m * n).map(|_| next() * -1e6 - 3.0).collect();
+        naive::gemm_nt_f64(m, n, k, &a, &bt, &mut c_ref_nt);
+        blocked::gemm_nt_f64(m, n, k, &a, &bt, &mut c_dirty_nt);
+        for i in 0..m * n {
+            prop_assert!(
+                (c_ref_nt[i] - c_dirty_nt[i]).abs() < 1e-10,
+                "NT leaked prior C contents at {}: {} vs {}", i, c_ref_nt[i], c_dirty_nt[i]
+            );
+        }
+    }
+
     /// GEMM-NT on the transposed matrix equals GEMM-NN on the original.
     #[test]
     fn gemm_nt_is_nn_of_transpose(

@@ -31,7 +31,7 @@ pub fn run(seed: u64) -> Vec<Fig10Series> {
     for (apc, apr) in [(1usize, 12usize), (2, 24), (8, 96)] {
         let (decomp, atoms) = super::table3::build_public(apr, seed ^ apr as u64);
         let counts = decomp.counts_per_rank(&atoms);
-        let t_nolb = model.rank_times_nolb(&counts, seed);
+        let t_nolb = model.rank_times_nolb(&decomp, &counts, seed);
         let t_lb = model.rank_times_lb(&decomp, &counts, seed);
         out.push(Fig10Series {
             atoms_per_core: apc,

@@ -66,7 +66,7 @@ pub fn run(seed: u64) -> Vec<Table3Row> {
         let (decomp, atoms) = build(apr, seed ^ apr as u64);
         let counts = decomp.counts_per_rank(&atoms);
         // Without lb.
-        let t_nolb = model.rank_times_nolb(&counts, seed);
+        let t_nolb = model.rank_times_nolb(&decomp, &counts, seed);
         rows.push(Table3Row {
             atoms_per_core: apc,
             lb: false,

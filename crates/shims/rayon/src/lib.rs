@@ -1,0 +1,88 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no registry access, so the real `rayon` cannot be
+//! fetched. This shim keeps the `par_iter().map(..).reduce(id, op)` call
+//! sites compiling — but executes them **sequentially, in order**.
+//!
+//! That is deliberate, not just a fallback: training reduces per-frame
+//! gradients with floating-point addition, and a sequential fixed-order
+//! reduction makes the trained model (and therefore every downstream
+//! trajectory) bit-identical regardless of available cores. The hot
+//! force-evaluation path does not use this shim at all — it runs on the
+//! deterministic work-stealing pool in `dpmd-threads`, which gets its
+//! bit-reproducibility from fixed chunking rather than from being serial.
+
+pub mod prelude {
+    /// Borrowing "parallel" iterator over a slice (sequential here).
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    /// Mapped iterator adapter.
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    /// `rayon::prelude::IntoParallelRefIterator`: provides `.par_iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type yielded by reference.
+        type Item: 'a;
+
+        /// A by-reference iterator over the collection.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T> ParIter<'a, T> {
+        /// Map each element.
+        pub fn map<R, F: FnMut(&'a T) -> R>(self, f: F) -> ParMap<'a, T, F> {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    impl<'a, T, R, F: FnMut(&'a T) -> R> ParMap<'a, T, F> {
+        /// Fold all mapped values into one, starting from `identity()`.
+        /// Sequential and in slice order, so the result is deterministic.
+        pub fn reduce<ID, OP>(mut self, identity: ID, op: OP) -> R
+        where
+            ID: Fn() -> R,
+            OP: Fn(R, R) -> R,
+        {
+            self.items.iter().map(&mut self.f).fold(identity(), |a, b| op(a, b))
+        }
+
+        /// Collect mapped values in order.
+        pub fn collect<C: FromIterator<R>>(mut self) -> C {
+            self.items.iter().map(&mut self.f).collect()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::IntoParallelRefIterator;
+
+        #[test]
+        fn map_reduce_matches_serial_fold() {
+            let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+            let par = xs.par_iter().map(|x| x * 2.0).reduce(|| 0.0, |a, b| a + b);
+            let ser = xs.iter().map(|x| x * 2.0).fold(0.0, |a, b| a + b);
+            assert_eq!(par.to_bits(), ser.to_bits());
+        }
+    }
+}
