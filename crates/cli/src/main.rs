@@ -46,11 +46,65 @@ fn usage() {
     println!("  --threads N  force-evaluation threads (default: all cores)");
     println!("  --timing     per-step phase breakdown (neighbor/descriptor/");
     println!("               embedding/fitting/integrate)");
+    println!("  --faults SPEC  run the distributed driver under an injected");
+    println!("               fault scenario with recovery, and verify the");
+    println!("               trajectory stays bit-identical to the clean run.");
+    println!("               SPEC: ';'-separated clauses, e.g.");
+    println!("               \"seed=7;drop=0.15;dup=0.1;reorder=0.3;stall-leader=0@3+4\"");
+    println!("               (also: delay=P:R, retries=N, backoff=NS, pool=BYTES,");
+    println!("               stall-tni=T@S+N)");
+    println!("  --scheme S   exchange scheme for --faults: node (default) | p2p");
+}
+
+/// `dpmd md --faults <spec>`: the fault-injection surface. Runs the
+/// distributed LJ driver clean and faulted side by side and reports the
+/// fault/recovery counters plus the bitwise verdict.
+fn run_faulted(args: &[String], spec: &str) -> bool {
+    let plan = match FaultPlan::parse(spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bad --faults spec: {e}");
+            return false;
+        }
+    };
+    let cells = parse_flag(args, "--cells", 6);
+    let steps = parse_flag(args, "--steps", 12) as u64;
+    let scheme = match args
+        .iter()
+        .position(|a| a == "--scheme")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("p2p") => ExchangeScheme::RankP2p,
+        Some("node") | None => ExchangeScheme::NodeBased,
+        Some(other) => {
+            eprintln!("unknown --scheme '{other}' (use node | p2p)");
+            return false;
+        }
+    };
+    println!("fault plan: {plan:?}");
+    println!("scheme: {scheme:?}, {steps} steps, {cells} cells/edge\n");
+    let report = run_faulted_md(cells, steps, scheme, plan);
+    println!("{}", report.stats);
+    println!(
+        "\ntrajectory vs fault-free run: {}",
+        if report.bitwise_identical {
+            "BIT-IDENTICAL (recovery hid every fault)".to_string()
+        } else {
+            format!("DIVERGED (max drift {:.3e} A)", report.max_drift)
+        }
+    );
+    report.bitwise_identical
 }
 
 /// `dpmd md`: run functional MD, optionally printing the per-step
 /// phase-timing breakdown the threaded force pipeline records.
-fn run_md(args: &[String]) {
+fn run_md(args: &[String]) -> bool {
+    if let Some(spec) =
+        args.iter().position(|a| a == "--faults").and_then(|i| args.get(i + 1))
+    {
+        return run_faulted(args, &spec.clone());
+    }
     let cells = parse_flag(args, "--cells", 3);
     let steps = parse_flag(args, "--steps", 20) as u64;
     let water = args.iter().any(|a| a == "--water");
@@ -113,6 +167,7 @@ fn run_md(args: &[String]) {
             100.0 * sums.0 / sums.1
         );
     }
+    true
 }
 
 fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
@@ -199,8 +254,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "md" => {
-            run_md(&args);
-            ExitCode::SUCCESS
+            if run_md(&args) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         "all" => {
             for (name, _) in EXPERIMENTS {

@@ -20,7 +20,11 @@ use minimd::neighbor::{ListKind, NeighborList};
 use minimd::potential::Potential;
 use minimd::simbox::SimBox;
 
-use crate::functional::{exchange_ghosts, partition, reverse_forces, ExchangeScheme};
+use crate::fault::{FaultPlan, FaultSession, FaultStats};
+use crate::functional::{
+    exchange_ghosts, exchange_ghosts_recoverable, partition, reverse_forces,
+    reverse_forces_recoverable, ExchangeScheme,
+};
 
 /// A distributed simulation over per-rank atom stores.
 pub struct DistributedSim<'p> {
@@ -41,6 +45,7 @@ pub struct DistributedSim<'p> {
     pub halo: f64,
     nls: Vec<NeighborList>,
     step: u64,
+    faults: Option<FaultSession>,
 }
 
 impl<'p> DistributedSim<'p> {
@@ -69,10 +74,27 @@ impl<'p> DistributedSim<'p> {
             halo,
             nls,
             step: 0,
+            faults: None,
         };
-        sim.rebuild();
-        sim.compute_forces();
+        sim.rebuild(0);
+        sim.compute_forces(0);
         sim
+    }
+
+    /// Arm fault injection: from now on every forward exchange and reverse
+    /// reduction runs `plan`'s faults through the recovery protocol
+    /// (sequence numbers, timeout/retry/backoff, idempotent apply), and a
+    /// stalled leader degrades the node-based scheme to rank p2p for the
+    /// affected steps. With recovery, the trajectory is bit-identical to
+    /// the fault-free run — the property `tests/fault_injection.rs` pins.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultSession::new(plan));
+    }
+
+    /// Counters of injected faults and recovery work (None until
+    /// [`inject_faults`](Self::inject_faults)).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|s| &s.stats)
     }
 
     /// The global box.
@@ -85,12 +107,45 @@ impl<'p> DistributedSim<'p> {
         self.step
     }
 
-    fn rebuild(&mut self) {
+    /// The scheme actually used at `step`: node-based degrades to rank p2p
+    /// while a leader rank is stalled (graceful degradation — p2p needs no
+    /// leader aggregation, and both schemes produce bitwise-identical ghost
+    /// arrays, so the trajectory is unperturbed).
+    fn effective_scheme(&mut self, step: u64) -> ExchangeScheme {
+        if self.scheme == ExchangeScheme::NodeBased {
+            if let Some(s) = self.faults.as_mut() {
+                if s.plan.leader_stalled_at(step) {
+                    s.stats.fallback_steps += 1;
+                    return ExchangeScheme::RankP2p;
+                }
+            }
+        }
+        self.scheme
+    }
+
+    /// Forward halo exchange for `step`, through the fault layer if armed.
+    fn exchange(&mut self, step: u64) {
+        let scheme = self.effective_scheme(step);
+        match self.faults.as_mut() {
+            Some(session) => exchange_ghosts_recoverable(
+                &self.decomp,
+                &mut self.ranks,
+                self.halo,
+                scheme,
+                false,
+                session,
+                step,
+            ),
+            None => exchange_ghosts(&self.decomp, &mut self.ranks, self.halo, scheme, false),
+        }
+    }
+
+    fn rebuild(&mut self, step: u64) {
         for a in &mut self.ranks {
             a.clear_ghosts();
         }
         exchange_atoms(&self.decomp, &mut self.ranks);
-        exchange_ghosts(&self.decomp, &mut self.ranks, self.halo, self.scheme, false);
+        self.exchange(step);
         let bx = self.decomp.bx;
         for (a, nl) in self.ranks.iter().zip(&mut self.nls) {
             nl.build(a, &bx);
@@ -104,25 +159,30 @@ impl<'p> DistributedSim<'p> {
     /// neighbour lists every step. (The production code instead keeps the
     /// ghost *set* frozen between rebuilds and relies on the skin; the
     /// timing of that path is what the performance model charges.)
-    fn refresh_ghosts(&mut self) {
+    fn refresh_ghosts(&mut self, step: u64) {
         for a in &mut self.ranks {
             a.clear_ghosts();
         }
-        exchange_ghosts(&self.decomp, &mut self.ranks, self.halo, self.scheme, false);
+        self.exchange(step);
         let bx = self.decomp.bx;
         for (a, nl) in self.ranks.iter().zip(&mut self.nls) {
             nl.build(a, &bx);
         }
     }
 
-    fn compute_forces(&mut self) -> f64 {
+    fn compute_forces(&mut self, step: u64) -> f64 {
         let bx = self.decomp.bx;
         let mut energy = 0.0;
         for (a, nl) in self.ranks.iter_mut().zip(&self.nls) {
             a.zero_forces();
             energy += self.potential.compute(a, nl, &bx).energy;
         }
-        reverse_forces(&self.decomp, &mut self.ranks);
+        match self.faults.as_mut() {
+            Some(session) => {
+                reverse_forces_recoverable(&self.decomp, &mut self.ranks, session, step)
+            }
+            None => reverse_forces(&self.decomp, &mut self.ranks),
+        }
         energy
     }
 
@@ -132,12 +192,15 @@ impl<'p> DistributedSim<'p> {
             // Unwrapped drift: the migrate/exchange step re-wraps.
             self.integrator.first_half_unwrapped(a);
         }
-        if self.rebuild_every > 0 && (self.step + 1) % self.rebuild_every == 0 {
-            self.rebuild();
+        // The step being computed keys every fault decision, so a given
+        // scenario replays identically run to run.
+        let step = self.step + 1;
+        if self.rebuild_every > 0 && step % self.rebuild_every == 0 {
+            self.rebuild(step);
         } else {
-            self.refresh_ghosts();
+            self.refresh_ghosts(step);
         }
-        let pe = self.compute_forces();
+        let pe = self.compute_forces(step);
         let mut ke = 0.0;
         for a in &mut self.ranks {
             self.integrator.second_half(a);

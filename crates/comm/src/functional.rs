@@ -14,6 +14,22 @@ use minimd::atoms::Atoms;
 use minimd::domain::Decomposition;
 use minimd::vec3::Vec3;
 
+use crate::fault::FaultSession;
+use crate::plan::{ATOM_FORWARD_BYTES, ATOM_REVERSE_BYTES};
+use crate::transport::{deliver_reliable, Message, CHANNEL_FORWARD, CHANNEL_REVERSE};
+
+/// One forward payload entry: `(id, type, original position)`. Positions
+/// travel *unshifted*; every receiver derives the periodic image shift for
+/// its own sub-box. That makes the per-rank ghost arrays of both exchange
+/// schemes bitwise identical — each ghost id appears exactly once per rank
+/// and its stored position is a pure function of `(original pos, rank box)`
+/// — which is what lets a faulted node-based run degrade to p2p mid-run
+/// without perturbing the trajectory.
+pub type GhostEntry = (u64, u32, Vec3);
+
+/// One reverse payload entry: `(owner id, accumulated ghost force)`.
+pub type ForceEntry = (u64, Vec3);
+
 /// How ghosts travel (both must produce identical ghost sets).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExchangeScheme {
@@ -78,11 +94,56 @@ pub fn exchange_ghosts(
     for a in per_rank.iter_mut() {
         a.clear_ghosts();
     }
+    let messages = build_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast);
+    apply_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast, &messages);
+}
+
+/// [`exchange_ghosts`] over a faulty transport: the same canonical messages
+/// go through [`deliver_reliable`]'s retry/dedup protocol before being
+/// applied, accumulating fault and recovery counters into `session`.
+///
+/// Panics if delivery exhausts its retries (only reachable under
+/// pathological fault plans, e.g. `drop` probabilities near 1).
+pub fn exchange_ghosts_recoverable(
+    decomp: &Decomposition,
+    per_rank: &mut [Atoms],
+    rc: f64,
+    scheme: ExchangeScheme,
+    lb_broadcast: bool,
+    session: &mut FaultSession,
+    step: u64,
+) {
+    assert_eq!(per_rank.len(), decomp.num_ranks());
+    for a in per_rank.iter_mut() {
+        a.clear_ghosts();
+    }
+    let messages = build_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast);
+    let delivered =
+        deliver_reliable(session, CHANNEL_FORWARD, step, ATOM_FORWARD_BYTES, &messages)
+            .unwrap_or_else(|e| panic!("forward exchange at step {step}: {e}"));
+    apply_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast, &delivered);
+}
+
+/// Assemble the canonical forward messages of `scheme`: what every
+/// sender would put on the wire, in deterministic order.
+///
+/// * `RankP2p` — one message per directed `(stencil neighbour → rank)`
+///   edge, payload filtered to the receiver's ghost region;
+/// * `NodeBased` — one message per directed `(node → neighbour node)`
+///   edge between the leader ranks, payload being the source node's pooled
+///   atoms inside the destination *node's* ghost region — each atom shipped
+///   once per node pair, the deduplication behind the paper's 81 % saving.
+pub fn build_forward_messages(
+    decomp: &Decomposition,
+    per_rank: &[Atoms],
+    rc: f64,
+    scheme: ExchangeScheme,
+    lb_broadcast: bool,
+) -> Vec<Message<GhostEntry>> {
+    let mut messages = Vec::new();
     match scheme {
         ExchangeScheme::RankP2p => {
             for dst in 0..decomp.num_ranks() {
-                let (lo, hi) = decomp.rank_box(dst);
-                let mut incoming: Vec<(u64, u32, Vec3)> = Vec::new();
                 let mut sources = decomp.neighbor_ranks(dst, rc);
                 if lb_broadcast {
                     // Sibling ranks' locals are also needed wholesale.
@@ -94,30 +155,24 @@ pub fn exchange_ghosts(
                 }
                 for src in sources {
                     let node_sib = decomp.rank_to_node(src) == decomp.rank_to_node(dst);
-                    let src_atoms = &per_rank[src];
-                    for i in 0..src_atoms.nlocal {
-                        let p = src_atoms.pos[i];
-                        let take = if lb_broadcast && node_sib {
-                            true
-                        } else {
-                            decomp.in_ghost_region_of_rank(dst, p, rc)
-                        };
+                    let a = &per_rank[src];
+                    let mut payload = Vec::new();
+                    for i in 0..a.nlocal {
+                        let p = a.pos[i];
+                        let take = (lb_broadcast && node_sib)
+                            || decomp.in_ghost_region_of_rank(dst, p, rc);
                         if take {
-                            let shift = ghost_shift(decomp, p, lo, hi);
-                            incoming.push((src_atoms.id[i], src_atoms.typ[i], p + shift));
+                            payload.push((a.id[i], a.typ[i], p));
                         }
                     }
-                }
-                incoming.sort_by_key(|e| e.0);
-                for (id, typ, pos) in incoming {
-                    per_rank[dst].push_ghost(id, typ, pos);
+                    messages.push(Message { src: src as u32, dst: dst as u32, payload });
                 }
             }
         }
         ExchangeScheme::NodeBased => {
             // Gather: node n's pooled atoms (all four ranks' locals).
             let nnodes = decomp.num_nodes();
-            let mut node_atoms: Vec<Vec<(u64, u32, Vec3)>> = vec![Vec::new(); nnodes];
+            let mut node_atoms: Vec<Vec<GhostEntry>> = vec![Vec::new(); nnodes];
             for n in 0..nnodes {
                 for r in decomp.node_ranks(n) {
                     let a = &per_rank[r];
@@ -126,26 +181,71 @@ pub fn exchange_ghosts(
                     }
                 }
             }
-            // Exchange: each node receives from neighbour nodes the atoms in
-            // its node-box ghost region, once per atom (the deduplication
-            // that saves the 81%).
-            let mut node_ghosts: Vec<Vec<(u64, u32, Vec3)>> = vec![Vec::new(); nnodes];
             for dst in 0..nnodes {
-                let (lo, hi) = decomp.node_box(dst);
+                let leader_dst = decomp.node_ranks(dst)[0] as u32;
                 for src in decomp.neighbor_nodes(dst, rc) {
-                    for &(id, typ, p) in &node_atoms[src] {
-                        if decomp.in_ghost_region_of_node(dst, p, rc) {
-                            let shift = ghost_shift(decomp, p, lo, hi);
-                            node_ghosts[dst].push((id, typ, p + shift));
-                        }
-                    }
+                    let payload: Vec<GhostEntry> = node_atoms[src]
+                        .iter()
+                        .filter(|&&(_, _, p)| decomp.in_ghost_region_of_node(dst, p, rc))
+                        .copied()
+                        .collect();
+                    messages.push(Message {
+                        src: decomp.node_ranks(src)[0] as u32,
+                        dst: leader_dst,
+                        payload,
+                    });
                 }
             }
-            // Scatter: within each node, deliver to each rank.
+        }
+    }
+    messages
+}
+
+/// Apply delivered forward messages: shift every entry into the receiving
+/// rank's frame, merge with intra-node (shared-memory) sibling locals for
+/// the node-based scheme, sort by id, and push as ghosts.
+///
+/// Apply order is canonical — it depends only on the message *set*, never
+/// on arrival order, which is the property that makes reorder faults
+/// harmless.
+pub fn apply_forward_messages(
+    decomp: &Decomposition,
+    per_rank: &mut [Atoms],
+    rc: f64,
+    scheme: ExchangeScheme,
+    lb_broadcast: bool,
+    messages: &[Message<GhostEntry>],
+) {
+    match scheme {
+        ExchangeScheme::RankP2p => {
+            let mut incoming: Vec<Vec<GhostEntry>> = vec![Vec::new(); decomp.num_ranks()];
+            for m in messages {
+                let dst = m.dst as usize;
+                let (lo, hi) = decomp.rank_box(dst);
+                for &(id, typ, p) in &m.payload {
+                    incoming[dst].push((id, typ, p + ghost_shift(decomp, p, lo, hi)));
+                }
+            }
+            for (dst, mut inc) in incoming.into_iter().enumerate() {
+                inc.sort_by_key(|e| e.0);
+                for (id, typ, pos) in inc {
+                    per_rank[dst].push_ghost(id, typ, pos);
+                }
+            }
+        }
+        ExchangeScheme::NodeBased => {
+            // Leaders' inboxes: remote node ghosts, keyed by receiving node.
+            let nnodes = decomp.num_nodes();
+            let mut node_ghosts: Vec<Vec<GhostEntry>> = vec![Vec::new(); nnodes];
+            for m in messages {
+                node_ghosts[decomp.rank_to_node(m.dst as usize)].extend_from_slice(&m.payload);
+            }
+            // Scatter: within each node, deliver to each rank (shared
+            // memory — never faulted).
             for n in 0..nnodes {
                 for dst in decomp.node_ranks(n) {
                     let (lo, hi) = decomp.rank_box(dst);
-                    let mut incoming: Vec<(u64, u32, Vec3)> = Vec::new();
+                    let mut incoming: Vec<GhostEntry> = Vec::new();
                     // Sibling locals (from the node gather).
                     for r in decomp.node_ranks(n) {
                         if r == dst {
@@ -155,18 +255,14 @@ pub fn exchange_ghosts(
                         for i in 0..a.nlocal {
                             let p = a.pos[i];
                             if lb_broadcast || decomp.in_ghost_region_of_rank(dst, p, rc) {
-                                let shift = ghost_shift(decomp, p, lo, hi);
-                                incoming.push((a.id[i], a.typ[i], p + shift));
+                                incoming.push((a.id[i], a.typ[i], p + ghost_shift(decomp, p, lo, hi)));
                             }
                         }
                     }
-                    // Remote ghosts (from the node exchange). Positions are
-                    // already image-shifted towards the node-box; re-derive
-                    // the shift from the original coordinates to stay exact
-                    // for the rank box.
+                    // Remote ghosts (from the node exchange).
                     for &(id, typ, p) in &node_ghosts[n] {
                         if lb_broadcast || decomp.in_ghost_region_of_rank(dst, p, rc) {
-                            incoming.push((id, typ, p));
+                            incoming.push((id, typ, p + ghost_shift(decomp, p, lo, hi)));
                         }
                     }
                     incoming.sort_by_key(|e| e.0);
@@ -303,27 +399,71 @@ pub fn ghost_signature(atoms: &Atoms) -> Vec<(u64, [i64; 3])> {
 /// Reverse path: accumulate ghost forces back onto their owners ("Newton's
 /// law on"). Ghosts are matched by global id.
 pub fn reverse_forces(decomp: &Decomposition, per_rank: &mut [Atoms]) {
-    // Build id → (rank, local index) for owners.
-    let mut owner: HashMap<u64, (usize, usize)> = HashMap::new();
+    let _ = decomp;
+    let messages = build_reverse_messages(per_rank);
+    apply_reverse_messages(per_rank, &messages);
+}
+
+/// [`reverse_forces`] over a faulty transport, with the same recovery
+/// protocol (and panic-on-exhausted-retries contract) as
+/// [`exchange_ghosts_recoverable`].
+pub fn reverse_forces_recoverable(
+    decomp: &Decomposition,
+    per_rank: &mut [Atoms],
+    session: &mut FaultSession,
+    step: u64,
+) {
+    let _ = decomp;
+    let messages = build_reverse_messages(per_rank);
+    let delivered =
+        deliver_reliable(session, CHANNEL_REVERSE, step, ATOM_REVERSE_BYTES, &messages)
+            .unwrap_or_else(|e| panic!("reverse reduction at step {step}: {e}"));
+    apply_reverse_messages(per_rank, &delivered);
+}
+
+/// Assemble the canonical reverse messages: each rank's non-zero ghost
+/// forces, grouped per owner rank, in `(source rank asc, ghost index asc)`
+/// order. That ordering makes the summation order per owner atom identical
+/// to the sequential reference, so applying delivered messages is bitwise
+/// equal to [`reverse_forces`] — for either exchange scheme.
+pub fn build_reverse_messages(per_rank: &[Atoms]) -> Vec<Message<ForceEntry>> {
+    let mut owner_rank: HashMap<u64, u32> = HashMap::new();
     for (r, a) in per_rank.iter().enumerate() {
         for i in 0..a.nlocal {
-            owner.insert(a.id[i], (r, i));
+            owner_rank.insert(a.id[i], r as u32);
         }
     }
-    let _ = decomp;
-    // Collect ghost contributions, then apply (two phases to satisfy the
-    // borrow checker and mirror the gather/reduce of the real scheme).
-    let mut contributions: Vec<(usize, usize, Vec3)> = Vec::new();
-    for a in per_rank.iter() {
+    let nranks = per_rank.len();
+    let mut messages = Vec::new();
+    for (src, a) in per_rank.iter().enumerate() {
+        let mut per_dst: Vec<Vec<ForceEntry>> = vec![Vec::new(); nranks];
         for gi in a.nlocal..a.len() {
             if a.force[gi] != Vec3::ZERO {
-                let (r, i) = owner[&a.id[gi]];
-                contributions.push((r, i, a.force[gi]));
+                per_dst[owner_rank[&a.id[gi]] as usize].push((a.id[gi], a.force[gi]));
+            }
+        }
+        for (dst, payload) in per_dst.into_iter().enumerate() {
+            if !payload.is_empty() {
+                messages.push(Message { src: src as u32, dst: dst as u32, payload });
             }
         }
     }
-    for (r, i, f) in contributions {
-        per_rank[r].force[i] += f;
+    messages
+}
+
+/// Apply delivered reverse messages onto the owners' force arrays, in
+/// canonical message order (independent of arrival order).
+pub fn apply_reverse_messages(per_rank: &mut [Atoms], messages: &[Message<ForceEntry>]) {
+    let index: Vec<HashMap<u64, usize>> = per_rank
+        .iter()
+        .map(|a| (0..a.nlocal).map(|i| (a.id[i], i)).collect())
+        .collect();
+    for m in messages {
+        let dst = m.dst as usize;
+        for &(id, f) in &m.payload {
+            let i = index[dst][&id];
+            per_rank[dst].force[i] += f;
+        }
     }
 }
 

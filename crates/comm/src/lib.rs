@@ -14,22 +14,35 @@
 //!   nodes' leaders with one thread per TNI, receive-side scatter, and the
 //!   reverse (force-reduction) path;
 //! * [`mempool`] — the RDMA memory-pool experiment (Fig. 8): per-neighbour
-//!   buffer registration vs one pooled region, against the NIC cache model;
+//!   buffer registration vs one pooled region, against the NIC cache model,
+//!   plus the functional [`MemPool`] accounting allocator (exhaustion is a
+//!   retriable error, never a panic);
 //! * [`driver`] — a functional distributed MD driver (exchange → compute →
 //!   reverse → integrate → migrate) pinned against the single-box
 //!   trajectory;
 //! * [`functional`] — an in-process *functional* ghost exchange that
 //!   actually moves atoms between per-rank stores, used to prove all
 //!   schemes deliver identical ghost sets (the correctness side of the
-//!   performance story).
+//!   performance story);
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`]):
+//!   drop/duplicate/reorder/delay individual exchange messages, stall a
+//!   leader rank or TNI, cap the RDMA mempool — every decision keyed off
+//!   `(seed, step, edge, attempt)` so a scenario replays bit-identically;
+//! * [`transport`] — the recovery protocol over that faulty transport:
+//!   per-edge sequence numbers, timeout/retry/backoff, idempotent apply.
 
 pub mod driver;
+pub mod fault;
 pub mod functional;
 pub mod mempool;
 pub mod node_based;
 pub mod p2p;
 pub mod plan;
 pub mod three_stage;
+pub mod transport;
 
+pub use fault::{FaultPlan, FaultSession, FaultStats, Stall, StallTarget};
+pub use mempool::{MemPool, PoolBlock, PoolError};
 pub use node_based::{NodeSchemeConfig, NodeSchemeResult};
 pub use plan::{HaloPlan, ATOM_FORWARD_BYTES, ATOM_REVERSE_BYTES};
+pub use transport::{deliver_reliable, DeliveryError, Message};

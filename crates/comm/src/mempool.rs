@@ -14,6 +14,118 @@ use fugaku::machine::MachineConfig;
 use fugaku::niccache::NicCache;
 use fugaku::utofu::{ApiCosts, CommApi};
 
+/// Allocation failure of the pooled region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// The request does not fit in what is currently free. Retriable: free
+    /// an outstanding block and ask again.
+    Exhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently free.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Exhausted { requested, available } => write!(
+                f,
+                "mempool exhausted: requested {requested} B, {available} B available"
+            ),
+        }
+    }
+}
+
+/// A claim on pool bytes. Return it via [`MemPool::free`]; the move-only
+/// handle makes double-free unrepresentable.
+#[derive(Debug)]
+#[must_use = "a leaked block permanently shrinks the pool"]
+pub struct PoolBlock {
+    bytes: usize,
+}
+
+impl PoolBlock {
+    /// Size of this claim in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes
+    }
+
+    /// `true` for a zero-byte claim.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+/// The functional counterpart of [`Registration::MemoryPool`]: one large
+/// registered region handed out by offset. This is an *accounting*
+/// allocator — the simulation needs capacity pressure and recovery
+/// semantics, not addresses. Exhaustion is an error, never a panic, and is
+/// always retriable once a block is freed.
+#[derive(Clone, Debug)]
+pub struct MemPool {
+    capacity: usize,
+    used: usize,
+    peak: usize,
+    failed: u64,
+}
+
+impl MemPool {
+    /// A pool of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        MemPool { capacity, used: 0, peak: 0, failed: 0 }
+    }
+
+    /// A pool that never exhausts (the no-fault configuration).
+    pub fn unbounded() -> Self {
+        MemPool::new(usize::MAX)
+    }
+
+    /// Claim `bytes` from the pool.
+    pub fn alloc(&mut self, bytes: usize) -> Result<PoolBlock, PoolError> {
+        let available = self.capacity - self.used;
+        if bytes > available {
+            self.failed += 1;
+            return Err(PoolError::Exhausted { requested: bytes, available });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(PoolBlock { bytes })
+    }
+
+    /// Return a claim to the pool.
+    pub fn free(&mut self, block: PoolBlock) {
+        debug_assert!(block.bytes <= self.used, "freeing more than was allocated");
+        self.used -= block.bytes;
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently claimed.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of `used`.
+    pub fn peak_used(&self) -> usize {
+        self.peak
+    }
+
+    /// Allocations refused so far.
+    pub fn failed_allocs(&self) -> u64 {
+        self.failed
+    }
+}
+
 /// Buffer registration strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Registration {
@@ -111,6 +223,64 @@ mod tests {
         // Below the knee the two strategies are equivalent.
         let pool_below = per_msg(26, Registration::MemoryPool);
         assert!((below / pool_below - 1.0).abs() < 0.05);
+    }
+
+    /// Regression: allocation beyond pool capacity is an error, not a
+    /// panic, and succeeds again after a free (the retriable contract the
+    /// transport's recovery loop depends on).
+    #[test]
+    fn exhaustion_is_an_error_and_retriable_after_free() {
+        let mut pool = MemPool::new(100);
+        let a = pool.alloc(60).unwrap();
+        let b = pool.alloc(40).unwrap();
+        assert_eq!(pool.used(), 100);
+        assert_eq!(pool.available(), 0);
+
+        // Over capacity: Err, never a panic, pool state untouched.
+        let err = pool.alloc(1).unwrap_err();
+        assert_eq!(err, PoolError::Exhausted { requested: 1, available: 0 });
+        assert_eq!(pool.used(), 100);
+        assert_eq!(pool.failed_allocs(), 1);
+
+        // Retriable: the same request succeeds once space frees up.
+        pool.free(b);
+        assert_eq!(pool.available(), 40);
+        let c = pool.alloc(40).unwrap();
+        assert_eq!(pool.peak_used(), 100);
+        pool.free(a);
+        pool.free(c);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn oversized_request_reports_what_was_available() {
+        let mut pool = MemPool::new(64);
+        let held = pool.alloc(24).unwrap();
+        match pool.alloc(1000) {
+            Err(PoolError::Exhausted { requested: 1000, available: 40 }) => {}
+            other => panic!("expected exhaustion with availability, got {other:?}"),
+        }
+        pool.free(held);
+    }
+
+    #[test]
+    fn unbounded_pool_never_exhausts() {
+        let mut pool = MemPool::unbounded();
+        let blocks: Vec<_> = (0..64).map(|_| pool.alloc(1 << 30).unwrap()).collect();
+        assert_eq!(pool.failed_allocs(), 0);
+        for b in blocks {
+            pool.free(b);
+        }
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn zero_byte_claims_are_free() {
+        let mut pool = MemPool::new(0);
+        let b = pool.alloc(0).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(pool.alloc(1).unwrap_err(), PoolError::Exhausted { requested: 1, available: 0 });
+        pool.free(b);
     }
 
     #[test]

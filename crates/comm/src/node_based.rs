@@ -21,7 +21,7 @@
 
 use fugaku::event::{JobGraph, JobId};
 use fugaku::machine::MachineConfig;
-use fugaku::tni::TniDriving;
+use fugaku::tni::{round_robin_assignment_avoiding, TniDriving};
 use fugaku::tofu::Torus3d;
 use fugaku::utofu::{ApiCosts, CommApi};
 use minimd::domain::{Decomposition, RANKS_PER_NODE};
@@ -116,6 +116,34 @@ pub fn simulate(
     simulate_inner(machine, decomp, torus, plan, atoms_per_rank, cfg, Phase::Forward)
 }
 
+/// [`simulate`] with some TNI engines wedged for `stall_ns` on every node:
+/// the stalled engines' resources are held busy from t = 0 and the send
+/// round-robin routes around them, so the node keeps communicating on the
+/// remaining engines at reduced injection bandwidth — the timing-model half
+/// of the fault layer's `stall-tni` clause.
+pub fn simulate_with_stalled_tnis(
+    machine: &MachineConfig,
+    decomp: &Decomposition,
+    torus: &Torus3d,
+    plan: &HaloPlan,
+    atoms_per_rank: &[usize],
+    cfg: NodeSchemeConfig,
+    stalled: &[usize],
+    stall_ns: u64,
+) -> NodeSchemeResult {
+    simulate_faulted(
+        machine,
+        decomp,
+        torus,
+        plan,
+        atoms_per_rank,
+        cfg,
+        Phase::Forward,
+        stalled,
+        stall_ns,
+    )
+}
+
 fn simulate_inner(
     machine: &MachineConfig,
     decomp: &Decomposition,
@@ -124,6 +152,21 @@ fn simulate_inner(
     atoms_per_rank: &[usize],
     cfg: NodeSchemeConfig,
     phase: Phase,
+) -> NodeSchemeResult {
+    simulate_faulted(machine, decomp, torus, plan, atoms_per_rank, cfg, phase, &[], 0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_faulted(
+    machine: &MachineConfig,
+    decomp: &Decomposition,
+    torus: &Torus3d,
+    plan: &HaloPlan,
+    atoms_per_rank: &[usize],
+    cfg: NodeSchemeConfig,
+    phase: Phase,
+    stalled_tnis: &[usize],
+    stall_ns: u64,
 ) -> NodeSchemeResult {
     assert!(matches!(cfg.leaders, 1 | 2 | 4), "leaders must be 1, 2 or 4");
     let costs = ApiCosts::of(CommApi::Utofu);
@@ -144,6 +187,20 @@ fn simulate_inner(
         // The ring bus serializes cross-NUMA traffic: gather and scatter
         // copies stream at full NoC bandwidth but one at a time.
         node_bus.push(g.resource());
+    }
+
+    // Wedged engines are held busy from t = 0; the send round-robin below
+    // routes around them, so the holds only bite if a message is (wrongly)
+    // queued on a stalled engine.
+    let mut hold_jobs = Vec::new();
+    if stall_ns > 0 {
+        for tnis in &node_tnis {
+            for &t in stalled_tnis {
+                if t < machine.tofu.tnis_per_node {
+                    hold_jobs.push(g.hold_resource(tnis[t], stall_ns));
+                }
+            }
+        }
     }
 
     let mut result = NodeSchemeResult::default();
@@ -174,9 +231,11 @@ fn simulate_inner(
             Phase::Forward => plan.node_sends(node),
             Phase::Reverse => plan.node_reverse_sends(node, ATOM_REVERSE_BYTES),
         };
+        let tni_of =
+            round_robin_assignment_avoiding(sends.len(), machine.tofu.tnis_per_node, stalled_tnis);
         for (mi, (dst, bytes)) in sends.into_iter().enumerate() {
             let thread = node_threads[node][mi % node_threads[node].len()];
-            let tni = node_tnis[node][mi % machine.tofu.tnis_per_node];
+            let tni = node_tnis[node][tni_of[mi]];
             let post = g.job(&gather_done[node], Some(thread), costs.send_overhead_ns, 0);
             let hops = torus.hops(node, dst);
             let inj = g.job(
@@ -220,7 +279,19 @@ fn simulate_inner(
         }
     }
 
-    result.comm.total_ns = g.run().makespan;
+    // The makespan of the *communication*: the stall-marker holds keep
+    // their engines busy but are not work — a wedged engine that nothing
+    // waits on must not count as schedule time.
+    let sched = g.run();
+    let is_hold: std::collections::HashSet<usize> = hold_jobs.iter().map(|j| j.0).collect();
+    result.comm.total_ns = sched
+        .finish
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !is_hold.contains(i))
+        .map(|(_, &f)| f)
+        .max()
+        .unwrap_or(0);
     result
 }
 
@@ -330,6 +401,57 @@ mod tests {
         let apr = atoms_per_rank(&d, &atoms);
         let r = simulate(&m, &d, &t, &plan, &apr, NodeSchemeConfig::paper_best());
         assert_eq!(r.comm.internode_messages as usize, plan.node_message_count());
+    }
+
+    #[test]
+    fn stalled_tnis_degrade_but_do_not_block() {
+        let (m, d, t, atoms) = setup(0.5, 8.0, [3, 3, 4]);
+        let plan = HaloPlan::build(&d, &atoms, 8.0);
+        let apr = atoms_per_rank(&d, &atoms);
+        let cfg = NodeSchemeConfig::paper_best();
+        let healthy = simulate(&m, &d, &t, &plan, &apr, cfg);
+        // Three of six engines wedged for a long time: routing around them
+        // keeps every message off the held resources, so time grows only
+        // through the halved injection bandwidth — far less than the stall.
+        let stall_ns = 1_000_000_000;
+        let faulted =
+            simulate_with_stalled_tnis(&m, &d, &t, &plan, &apr, cfg, &[1, 3, 5], stall_ns);
+        assert!(
+            faulted.comm.total_ns >= healthy.comm.total_ns,
+            "{} vs {}",
+            faulted.comm.total_ns,
+            healthy.comm.total_ns
+        );
+        assert!(
+            faulted.comm.total_ns < healthy.comm.total_ns * 4,
+            "routing around stalled TNIs must not serialize on them: {} vs {}",
+            faulted.comm.total_ns,
+            healthy.comm.total_ns
+        );
+        assert_eq!(faulted.comm.internode_messages, healthy.comm.internode_messages);
+    }
+
+    #[test]
+    fn stalled_tni_simulation_is_deterministic() {
+        let (m, d, t, atoms) = setup(0.5, 8.0, [3, 3, 4]);
+        let plan = HaloPlan::build(&d, &atoms, 8.0);
+        let apr = atoms_per_rank(&d, &atoms);
+        let cfg = NodeSchemeConfig::paper_best();
+        let a = simulate_with_stalled_tnis(&m, &d, &t, &plan, &apr, cfg, &[0], 50_000);
+        let b = simulate_with_stalled_tnis(&m, &d, &t, &plan, &apr, cfg, &[0], 50_000);
+        assert_eq!(a.comm.total_ns, b.comm.total_ns);
+        assert_eq!(a.noc_bytes, b.noc_bytes);
+    }
+
+    #[test]
+    fn nothing_stalled_matches_the_healthy_schedule_exactly() {
+        let (m, d, t, atoms) = setup(0.5, 8.0, [3, 3, 4]);
+        let plan = HaloPlan::build(&d, &atoms, 8.0);
+        let apr = atoms_per_rank(&d, &atoms);
+        let cfg = NodeSchemeConfig::paper_best();
+        let healthy = simulate(&m, &d, &t, &plan, &apr, cfg);
+        let faulted = simulate_with_stalled_tnis(&m, &d, &t, &plan, &apr, cfg, &[], 0);
+        assert_eq!(faulted.comm.total_ns, healthy.comm.total_ns);
     }
 
     #[test]

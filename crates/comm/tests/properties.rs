@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use dpmd_comm::functional::{exchange_ghosts, ghost_signature, partition, ExchangeScheme};
+use dpmd_comm::fault::{FaultPlan, FaultSession};
+use dpmd_comm::functional::{
+    exchange_ghosts, exchange_ghosts_recoverable, ghost_signature, partition, ExchangeScheme,
+};
 use dpmd_comm::plan::{HaloPlan, ATOM_FORWARD_BYTES};
 use minimd::atoms::{copper_species, Atoms};
 use minimd::domain::Decomposition;
@@ -78,6 +81,92 @@ proptest! {
         // rank ghosts include intra-node siblings, so plan ≤ delivered sum.
         let delivered: usize = per_rank.iter().map(|a| a.nghost()).sum();
         prop_assert!(plan.node_ghost_atoms() <= delivered + natoms);
+    }
+
+    /// Fault injection with recovery is invisible: on random configurations,
+    /// fault seeds and fault rates, the faulted exchange produces ghost
+    /// arrays *bitwise* identical to the clean exchange — for both schemes.
+    #[test]
+    fn faulted_exchange_is_bitwise_invisible(
+        seed in any::<u64>(),
+        fseed in any::<u64>(),
+        natoms in 50usize..200,
+        drop in 0.0f64..0.5,
+        dup in 0.0f64..0.4,
+    ) {
+        let rc = 4.5;
+        let (decomp, atoms) = random_setup(seed, natoms, [2, 2, 2]);
+        for scheme in [ExchangeScheme::RankP2p, ExchangeScheme::NodeBased] {
+            let mut clean = partition(&decomp, &atoms);
+            let mut faulted = partition(&decomp, &atoms);
+            exchange_ghosts(&decomp, &mut clean, rc, scheme, false);
+            let mut plan = FaultPlan::chaos(fseed);
+            plan.drop_p = drop;
+            plan.dup_p = dup;
+            let mut session = FaultSession::new(plan);
+            exchange_ghosts_recoverable(
+                &decomp, &mut faulted, rc, scheme, false, &mut session, 1,
+            );
+            for r in 0..decomp.num_ranks() {
+                prop_assert_eq!(clean[r].len(), faulted[r].len(), "rank {}", r);
+                for i in clean[r].nlocal..clean[r].len() {
+                    prop_assert_eq!(clean[r].id[i], faulted[r].id[i], "rank {} ghost {}", r, i);
+                    for k in 0..3 {
+                        prop_assert_eq!(
+                            clean[r].pos[i][k].to_bits(),
+                            faulted[r].pos[i][k].to_bits(),
+                            "rank {} ghost {} axis {}: {:?} scheme", r, i, k, scheme
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The two schemes' ghost arrays are bitwise equal (not just equal as
+    /// quantized multisets) — the invariant that lets a stalled-leader
+    /// fallback swap schemes mid-run without perturbing the trajectory.
+    #[test]
+    fn schemes_are_bitwise_interchangeable(seed in any::<u64>(), natoms in 50usize..250) {
+        let rc = 5.0;
+        let (decomp, atoms) = random_setup(seed, natoms, [2, 2, 3]);
+        let mut p2p = partition(&decomp, &atoms);
+        let mut node = partition(&decomp, &atoms);
+        exchange_ghosts(&decomp, &mut p2p, rc, ExchangeScheme::RankP2p, false);
+        exchange_ghosts(&decomp, &mut node, rc, ExchangeScheme::NodeBased, false);
+        for r in 0..decomp.num_ranks() {
+            prop_assert_eq!(p2p[r].len(), node[r].len(), "rank {}", r);
+            for i in p2p[r].nlocal..p2p[r].len() {
+                prop_assert_eq!(p2p[r].id[i], node[r].id[i]);
+                for k in 0..3 {
+                    prop_assert_eq!(
+                        p2p[r].pos[i][k].to_bits(),
+                        node[r].pos[i][k].to_bits(),
+                        "rank {} ghost {} axis {}", r, i, k
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same fault seed ⇒ identical injected faults and recovery work: two
+    /// runs of the same scenario produce equal stats, field for field.
+    #[test]
+    fn fault_replay_is_deterministic(fseed in any::<u64>(), natoms in 50usize..150) {
+        let rc = 4.5;
+        let (decomp, atoms) = random_setup(9, natoms, [2, 2, 2]);
+        let run = |fseed: u64| {
+            let mut per_rank = partition(&decomp, &atoms);
+            let mut session = FaultSession::new(FaultPlan::chaos(fseed));
+            for step in 1..=3 {
+                exchange_ghosts_recoverable(
+                    &decomp, &mut per_rank, rc, ExchangeScheme::NodeBased, false,
+                    &mut session, step,
+                );
+            }
+            session.stats
+        };
+        prop_assert_eq!(run(fseed), run(fseed), "same seed must replay identically");
     }
 
     /// Every ghost delivered is within the cutoff of its destination rank's

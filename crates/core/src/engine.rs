@@ -241,6 +241,86 @@ impl Engine {
     }
 }
 
+/// Verdict of a faulted-vs-clean distributed MD comparison
+/// ([`run_faulted_md`]).
+#[derive(Clone, Debug)]
+pub struct FaultedMdReport {
+    /// Steps run.
+    pub steps: u64,
+    /// Exchange scheme of the faulted run.
+    pub scheme: dpmd_comm::functional::ExchangeScheme,
+    /// Fault/recovery counters accumulated by the faulted run.
+    pub stats: dpmd_comm::fault::FaultStats,
+    /// Whether the faulted trajectory matched the clean one bit for bit
+    /// (positions and velocities of every atom).
+    pub bitwise_identical: bool,
+    /// Largest position deviation between the runs, Å (0 when bitwise).
+    pub max_drift: f64,
+}
+
+/// Run the distributed LJ-copper driver twice — clean and under `plan` with
+/// recovery enabled — and compare the trajectories. This is the engine-level
+/// surface of the fault layer (and what `dpmd md --faults <spec>` prints):
+/// with recovery, injected drops/duplicates/reorders/delays and stalled
+/// leaders must leave the trajectory bit-identical.
+///
+/// `cells` is the FCC cells per box edge (clamped to ≥ 6 so the 2×2×2-node
+/// decomposition's rank boxes stay wider than the ghost halo).
+pub fn run_faulted_md(
+    cells: usize,
+    steps: u64,
+    scheme: dpmd_comm::functional::ExchangeScheme,
+    plan: dpmd_comm::fault::FaultPlan,
+) -> FaultedMdReport {
+    use dpmd_comm::driver::DistributedSim;
+    use minimd::domain::Decomposition;
+    use minimd::lattice::fcc_lattice;
+    use minimd::potential::lj::LennardJones;
+
+    let cells = cells.max(6);
+    let (bx, mut global) = fcc_lattice(cells, cells, cells, 4.4);
+    init_velocities(&mut global, 60.0, 5);
+    let lj = LennardJones::new(0.0104, 3.4, 5.0);
+    let vv = VelocityVerlet::new(2.0 * FEMTOSECOND);
+
+    let mut clean = DistributedSim::new(
+        Decomposition::new(bx, [2, 2, 2]),
+        &global,
+        &lj,
+        vv.clone(),
+        scheme,
+        10,
+    );
+    let mut faulted =
+        DistributedSim::new(Decomposition::new(bx, [2, 2, 2]), &global, &lj, vv, scheme, 10);
+    faulted.inject_faults(plan);
+
+    for _ in 0..steps {
+        clean.stride();
+        faulted.stride();
+    }
+    let (gc, gf) = (clean.gather(), faulted.gather());
+    let mut bitwise = gc.id == gf.id && gc.nlocal == gf.nlocal;
+    let mut max_drift = 0.0f64;
+    for i in 0..gc.nlocal.min(gf.nlocal) {
+        for d in 0..3 {
+            if gc.pos[i][d].to_bits() != gf.pos[i][d].to_bits()
+                || gc.vel[i][d].to_bits() != gf.vel[i][d].to_bits()
+            {
+                bitwise = false;
+            }
+        }
+        max_drift = max_drift.max((gc.pos[i] - gf.pos[i]).norm());
+    }
+    FaultedMdReport {
+        steps,
+        scheme,
+        stats: *faulted.fault_stats().expect("faults were injected"),
+        bitwise_identical: bitwise,
+        max_drift,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +406,23 @@ mod tests {
         assert!(dp <= t.force_s * 1.01, "phases {dp} vs force {}", t.force_s);
         assert!(dp >= 0.5 * t.force_s, "phases {dp} vs force {}", t.force_s);
         assert!(t.phase_sum_s() <= t.total_s * 1.01);
+    }
+
+    #[test]
+    fn faulted_md_report_confirms_bitwise_recovery() {
+        let report = run_faulted_md(
+            6,
+            6,
+            dpmd_comm::functional::ExchangeScheme::NodeBased,
+            dpmd_comm::fault::FaultPlan::chaos(17),
+        );
+        assert!(report.stats.faults_injected() > 0, "chaos plan must inject faults");
+        assert!(
+            report.bitwise_identical,
+            "recovery must hide faults bit-for-bit (drift {})",
+            report.max_drift
+        );
+        assert_eq!(report.max_drift, 0.0);
     }
 
     #[test]

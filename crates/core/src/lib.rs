@@ -28,8 +28,10 @@ pub mod performance;
 
 /// Common imports for downstream users.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineBuilder};
+    pub use crate::engine::{run_faulted_md, Engine, EngineBuilder, FaultedMdReport};
     pub use crate::performance::Performance;
+    pub use dpmd_comm::fault::{FaultPlan, FaultStats};
+    pub use dpmd_comm::functional::ExchangeScheme;
     pub use deepmd::config::DeepPotConfig;
     pub use deepmd::model::DeepPotModel;
     pub use dpmd_scaling::kernels::OptLevel;

@@ -114,6 +114,13 @@ impl JobGraph {
         JobId(self.jobs.len() - 1)
     }
 
+    /// Occupy `resource` for `busy` ns starting at time 0 — a convenience
+    /// for modelling a wedged component (e.g. a stalled TNI engine): real
+    /// jobs queued on the resource cannot start until the hold releases.
+    pub fn hold_resource(&mut self, resource: ResourceId, busy: Time) -> JobId {
+        self.job(&[], Some(resource), busy, 0)
+    }
+
     /// Like [`Self::job`] with an earliest-start constraint.
     pub fn job_at(
         &mut self,
@@ -275,6 +282,20 @@ mod tests {
         assert_eq!(s.start[early.0], 0, "ready-first wins");
         assert_eq!(s.start[late.0], 100);
         assert_eq!(s.finish[late.0], 150);
+    }
+
+    #[test]
+    fn held_resource_delays_queued_jobs() {
+        let mut g = JobGraph::new();
+        let tni = g.resource();
+        let hold = g.hold_resource(tni, 1000);
+        let m = g.job(&[], Some(tni), 10, 0);
+        let free = g.resource();
+        let other = g.job(&[], Some(free), 10, 0);
+        let s = g.run();
+        assert_eq!(s.finish[hold.0], 1000);
+        assert_eq!(s.start[m.0], 1000, "queued job waits out the hold");
+        assert_eq!(s.finish[other.0], 10, "other resources are unaffected");
     }
 
     #[test]

@@ -68,6 +68,12 @@ impl NicCache {
         }
     }
 
+    /// Invalidate `entry` (e.g. a registration torn down by a fault):
+    /// returns whether it was resident. The next access to it misses.
+    pub fn evict(&mut self, entry: u64) -> bool {
+        self.stamps.remove(&entry).is_some()
+    }
+
     /// (hits, misses) so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
@@ -125,6 +131,17 @@ mod tests {
             extra += c.access(42);
         }
         assert_eq!(extra, c.miss_penalty_ns, "only the cold miss pays");
+    }
+
+    #[test]
+    fn evicted_entry_misses_again_without_perturbing_others() {
+        let mut c = NicCache::new(8, 1000);
+        c.access(1);
+        c.access(2);
+        assert!(c.evict(1), "entry 1 was resident");
+        assert!(!c.evict(1), "already gone");
+        assert_eq!(c.access(2), 0, "untouched entry still hits");
+        assert_eq!(c.access(1), 1000, "evicted entry pays a refill");
     }
 
     #[test]

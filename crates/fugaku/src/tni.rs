@@ -45,6 +45,24 @@ pub fn round_robin_assignment(n_messages: usize, n_tnis: usize) -> Vec<usize> {
     (0..n_messages).map(|m| m % n_tnis).collect()
 }
 
+/// Round-robin assignment that routes around unavailable engines: messages
+/// are spread in turn over the TNIs *not* listed in `stalled`. Used by the
+/// fault layer to model a wedged engine — the node keeps communicating on
+/// the remaining five at reduced injection bandwidth.
+///
+/// # Panics
+/// If every TNI is stalled (the node would be unreachable).
+pub fn round_robin_assignment_avoiding(
+    n_messages: usize,
+    n_tnis: usize,
+    stalled: &[usize],
+) -> Vec<usize> {
+    assert!(n_tnis > 0);
+    let healthy: Vec<usize> = (0..n_tnis).filter(|t| !stalled.contains(t)).collect();
+    assert!(!healthy.is_empty(), "all {n_tnis} TNIs stalled: node unreachable");
+    (0..n_messages).map(|m| healthy[m % healthy.len()]).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +76,30 @@ mod tests {
         }
         assert_eq!(counts.iter().sum::<usize>(), 13);
         assert!(counts.iter().all(|&c| c == 2 || c == 3));
+    }
+
+    #[test]
+    fn avoiding_assignment_skips_stalled_engines_and_stays_balanced() {
+        let a = round_robin_assignment_avoiding(20, 6, &[2, 5]);
+        assert!(a.iter().all(|&t| t != 2 && t != 5), "stalled TNIs must carry nothing");
+        let mut counts = [0usize; 6];
+        for &t in &a {
+            counts[t] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        assert_eq!(counts[2] + counts[5], 0);
+        assert!([0, 1, 3, 4].iter().all(|&t| counts[t] == 5), "{counts:?}");
+    }
+
+    #[test]
+    fn avoiding_with_nothing_stalled_is_plain_round_robin() {
+        assert_eq!(round_robin_assignment_avoiding(13, 6, &[]), round_robin_assignment(13, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn all_tnis_stalled_is_rejected() {
+        round_robin_assignment_avoiding(1, 2, &[0, 1]);
     }
 
     #[test]

@@ -128,6 +128,67 @@ proptest! {
         prop_assert_eq!(d.node_of_pos(p), node);
     }
 
+    /// Rank index ↔ grid coordinates round-trip over arbitrary node grids:
+    /// `rank_at(rank_coords(r)) == r` for every rank.
+    #[test]
+    fn rank_coords_round_trip(nx in 1usize..6, ny in 1usize..6, nz in 1usize..6) {
+        let d = Decomposition::new(SimBox::new(20.0, 24.0, 28.0), [nx, ny, nz]);
+        for r in 0..d.num_ranks() {
+            let c = d.rank_coords(r);
+            prop_assert_eq!(d.rank_at([c[0] as i64, c[1] as i64, c[2] as i64]), r);
+        }
+    }
+
+    /// Node index ↔ grid coordinates round-trip, and `rank_at` is periodic:
+    /// offsetting a coordinate by any grid period maps back to the same rank.
+    #[test]
+    fn node_coords_round_trip_and_rank_at_is_periodic(
+        nx in 1usize..6, ny in 1usize..6, nz in 1usize..6,
+        kx in -3i64..4, ky in -3i64..4, kz in -3i64..4,
+    ) {
+        let d = Decomposition::new(SimBox::new(20.0, 24.0, 28.0), [nx, ny, nz]);
+        for n in 0..d.num_nodes() {
+            let c = d.node_coords(n);
+            prop_assert_eq!(d.node_at([c[0] as i64, c[1] as i64, c[2] as i64]), n);
+        }
+        let ranks = [2 * nx as i64, 2 * ny as i64, nz as i64];
+        for r in 0..d.num_ranks() {
+            let c = d.rank_coords(r);
+            let shifted = [
+                c[0] as i64 + kx * ranks[0],
+                c[1] as i64 + ky * ranks[1],
+                c[2] as i64 + kz * ranks[2],
+            ];
+            prop_assert_eq!(d.rank_at(shifted), r, "rank {} shifted by periods", r);
+        }
+    }
+
+    /// `rank_to_node` and `node_at`/`node_ranks` are mutually consistent on
+    /// arbitrary grids: every rank's node contains it, nodes partition the
+    /// ranks into groups of four, and the rank's node coordinates are its
+    /// rank coordinates halved in x/y.
+    #[test]
+    fn rank_to_node_consistency(nx in 1usize..6, ny in 1usize..6, nz in 1usize..6) {
+        let d = Decomposition::new(SimBox::new(20.0, 24.0, 28.0), [nx, ny, nz]);
+        let mut seen = vec![0usize; d.num_ranks()];
+        for n in 0..d.num_nodes() {
+            for &r in d.node_ranks(n).iter() {
+                prop_assert!(r < d.num_ranks());
+                prop_assert_eq!(d.rank_to_node(r), n, "rank {} listed by node {}", r, n);
+                seen[r] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "node_ranks must partition the ranks");
+        for r in 0..d.num_ranks() {
+            let rc = d.rank_coords(r);
+            let n = d.rank_to_node(r);
+            prop_assert_eq!(
+                d.node_at([(rc[0] / 2) as i64, (rc[1] / 2) as i64, rc[2] as i64]), n
+            );
+            prop_assert!(d.rank_slot(r) < 4);
+        }
+    }
+
     /// Kinetic energy and temperature are invariant under atom reordering.
     #[test]
     fn kinetic_energy_is_permutation_invariant(seed in any::<u64>()) {
