@@ -34,7 +34,9 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 
 fn usage() {
     println!("usage: dpmd <experiment|list|all> [--points N] [--iters N]");
-    println!("       dpmd md [--water] [--cells N] [--steps N] [--threads N] [--timing]\n");
+    println!("       dpmd md [--water] [--cells N] [--steps N] [--threads N] [--timing]");
+    println!("               [--profile FILE] [--trace FILE]");
+    println!("       dpmd validate-obs <profile.json> [trace.json]\n");
     println!("experiments:");
     for (name, desc) in EXPERIMENTS {
         println!("  {name:10} {desc}");
@@ -46,6 +48,7 @@ fn usage() {
     println!("  --threads N  force-evaluation threads (default: all cores)");
     println!("  --timing     per-step phase breakdown (neighbor/descriptor/");
     println!("               embedding/fitting/integrate)");
+    println!("  --precision P  inference precision: double (default) | fp32 | fp16");
     println!("  --faults SPEC  run the distributed driver under an injected");
     println!("               fault scenario with recovery, and verify the");
     println!("               trajectory stays bit-identical to the clean run.");
@@ -54,6 +57,46 @@ fn usage() {
     println!("               (also: delay=P:R, retries=N, backoff=NS, pool=BYTES,");
     println!("               stall-tni=T@S+N)");
     println!("  --scheme S   exchange scheme for --faults: node (default) | p2p");
+    println!("  --profile F  write the deterministic metrics snapshot (JSON) to F");
+    println!("  --trace F    write the per-step span tree as a Chrome trace to F");
+    println!("               (load in chrome://tracing or https://ui.perfetto.dev)");
+    println!("\nvalidate-obs: check --profile/--trace outputs against the schema");
+}
+
+/// `dpmd validate-obs <profile.json> [trace.json]`: schema-check the files
+/// written by `md --profile`/`--trace` (the CI profile-smoke gate).
+fn validate_obs(args: &[String]) -> bool {
+    let Some(profile) = args.get(1) else {
+        eprintln!("usage: dpmd validate-obs <profile.json> [trace.json]");
+        return false;
+    };
+    let text = match std::fs::read_to_string(profile) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{profile}: {e}");
+            return false;
+        }
+    };
+    if let Err(e) = dpmd_obs::schema::validate_profile_json(&text) {
+        eprintln!("{profile}: {e}");
+        return false;
+    }
+    println!("{profile}: valid metrics snapshot");
+    if let Some(trace) = args.get(2) {
+        let text = match std::fs::read_to_string(trace) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{trace}: {e}");
+                return false;
+            }
+        };
+        if let Err(e) = dpmd_obs::schema::validate_trace_json(&text) {
+            eprintln!("{trace}: {e}");
+            return false;
+        }
+        println!("{trace}: valid Chrome trace");
+    }
+    true
 }
 
 /// `dpmd md --faults <spec>`: the fault-injection surface. Runs the
@@ -109,9 +152,25 @@ fn run_md(args: &[String]) -> bool {
     let steps = parse_flag(args, "--steps", 20) as u64;
     let water = args.iter().any(|a| a == "--water");
     let timing = args.iter().any(|a| a == "--timing");
+    let profile_path = flag_value(args, "--profile");
+    let trace_path = flag_value(args, "--trace");
 
+    let registry = dpmd_obs::MetricsRegistry::new();
+    let tracebuf = dpmd_obs::TraceBuffer::new();
     let mut builder = Engine::builder().seed(2024);
+    if profile_path.is_some() || trace_path.is_some() {
+        builder = builder.observe(registry.clone(), tracebuf.clone());
+    }
     builder = if water { builder.water_cells(cells) } else { builder.copper_cells(cells) };
+    match flag_value(args, "--precision").map(String::as_str) {
+        Some("double") | None => {}
+        Some("fp32") => builder = builder.precision(Precision::Mix32),
+        Some("fp16") => builder = builder.precision(Precision::Mix16),
+        Some(other) => {
+            eprintln!("unknown --precision '{other}' (use double | fp32 | fp16)");
+            return false;
+        }
+    }
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
             builder = builder.threads(n);
@@ -149,7 +208,7 @@ fn run_md(args: &[String]) -> bool {
                 ms(t.neighbor_s),
                 ms(t.phases.descriptor_s),
                 ms(t.phases.embedding_s),
-                ms(t.phases.fitting_s),
+                ms(t.phases.fitting_s + t.phases.reduction_s),
                 ms(t.integrate_s),
                 ms(t.total_s),
                 100.0 * attributed / t.total_s.max(1e-12),
@@ -167,6 +226,22 @@ fn run_md(args: &[String]) -> bool {
             100.0 * sums.0 / sums.1
         );
     }
+    if let Some(path) = profile_path {
+        let snap = registry.snapshot_deterministic();
+        let n = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("--profile {path}: {e}");
+            return false;
+        }
+        println!("profile: wrote {n} metrics to {path}");
+    }
+    if let Some(path) = trace_path {
+        if let Err(e) = std::fs::write(path, tracebuf.to_chrome_json()) {
+            eprintln!("--trace {path}: {e}");
+            return false;
+        }
+        println!("trace: wrote {} events to {path}", tracebuf.len());
+    }
     true
 }
 
@@ -176,6 +251,10 @@ fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
 }
 
 fn run_one(name: &str, points: usize, iters: usize) -> bool {
@@ -255,6 +334,13 @@ fn main() -> ExitCode {
         }
         "md" => {
             if run_md(&args) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "validate-obs" => {
+            if validate_obs(&args) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -22,9 +22,10 @@ use minimd::simbox::SimBox;
 
 use crate::fault::{FaultPlan, FaultSession, FaultStats};
 use crate::functional::{
-    exchange_ghosts, exchange_ghosts_recoverable, partition, reverse_forces,
-    reverse_forces_recoverable, ExchangeScheme,
+    exchange_ghosts, exchange_ghosts_observed, exchange_ghosts_recoverable, partition,
+    reverse_forces, reverse_forces_observed, reverse_forces_recoverable, ExchangeScheme,
 };
+use crate::metrics::CommMetrics;
 
 /// A distributed simulation over per-rank atom stores.
 pub struct DistributedSim<'p> {
@@ -46,6 +47,7 @@ pub struct DistributedSim<'p> {
     nls: Vec<NeighborList>,
     step: u64,
     faults: Option<FaultSession>,
+    obs: Option<CommMetrics>,
 }
 
 impl<'p> DistributedSim<'p> {
@@ -75,6 +77,7 @@ impl<'p> DistributedSim<'p> {
             nls,
             step: 0,
             faults: None,
+            obs: None,
         };
         sim.rebuild(0);
         sim.compute_forces(0);
@@ -88,7 +91,22 @@ impl<'p> DistributedSim<'p> {
     /// affected steps. With recovery, the trajectory is bit-identical to
     /// the fault-free run — the property `tests/fault_injection.rs` pins.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
-        self.faults = Some(FaultSession::new(plan));
+        let mut session = FaultSession::new(plan);
+        session.obs = self.obs.clone();
+        self.faults = Some(session);
+    }
+
+    /// Attach observability: from now on every exchange and reverse
+    /// reduction charges messages/bytes/retries into `registry` (see
+    /// [`CommMetrics`] for the catalog). The construction-time initial
+    /// exchange is not counted — counters start at zero here, which is what
+    /// lets tests equate them with per-step message sums.
+    pub fn attach_obs(&mut self, registry: &dpmd_obs::MetricsRegistry) {
+        let obs = CommMetrics::register(registry);
+        if let Some(s) = self.faults.as_mut() {
+            s.obs = Some(obs.clone());
+        }
+        self.obs = Some(obs);
     }
 
     /// Counters of injected faults and recovery work (None until
@@ -116,6 +134,9 @@ impl<'p> DistributedSim<'p> {
             if let Some(s) = self.faults.as_mut() {
                 if s.plan.leader_stalled_at(step) {
                     s.stats.fallback_steps += 1;
+                    if let Some(o) = &s.obs {
+                        o.fallback_steps.inc();
+                    }
                     return ExchangeScheme::RankP2p;
                 }
             }
@@ -136,7 +157,17 @@ impl<'p> DistributedSim<'p> {
                 session,
                 step,
             ),
-            None => exchange_ghosts(&self.decomp, &mut self.ranks, self.halo, scheme, false),
+            None => match &self.obs {
+                Some(o) => exchange_ghosts_observed(
+                    &self.decomp,
+                    &mut self.ranks,
+                    self.halo,
+                    scheme,
+                    false,
+                    o,
+                ),
+                None => exchange_ghosts(&self.decomp, &mut self.ranks, self.halo, scheme, false),
+            },
         }
     }
 
@@ -181,7 +212,10 @@ impl<'p> DistributedSim<'p> {
             Some(session) => {
                 reverse_forces_recoverable(&self.decomp, &mut self.ranks, session, step)
             }
-            None => reverse_forces(&self.decomp, &mut self.ranks),
+            None => match &self.obs {
+                Some(o) => reverse_forces_observed(&self.decomp, &mut self.ranks, o),
+                None => reverse_forces(&self.decomp, &mut self.ranks),
+            },
         }
         energy
     }

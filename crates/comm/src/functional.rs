@@ -15,6 +15,7 @@ use minimd::domain::Decomposition;
 use minimd::vec3::Vec3;
 
 use crate::fault::FaultSession;
+use crate::metrics::CommMetrics;
 use crate::plan::{ATOM_FORWARD_BYTES, ATOM_REVERSE_BYTES};
 use crate::transport::{deliver_reliable, Message, CHANNEL_FORWARD, CHANNEL_REVERSE};
 
@@ -98,6 +99,27 @@ pub fn exchange_ghosts(
     apply_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast, &messages);
 }
 
+/// [`exchange_ghosts`] with metric capture: charges the canonical message
+/// set (messages, bytes, per-edge and per-scheme splits) and the resulting
+/// ghost count to `obs` before/after the apply.
+pub fn exchange_ghosts_observed(
+    decomp: &Decomposition,
+    per_rank: &mut [Atoms],
+    rc: f64,
+    scheme: ExchangeScheme,
+    lb_broadcast: bool,
+    obs: &CommMetrics,
+) {
+    assert_eq!(per_rank.len(), decomp.num_ranks());
+    for a in per_rank.iter_mut() {
+        a.clear_ghosts();
+    }
+    let messages = build_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast);
+    obs.count_messages(Some(scheme), ATOM_FORWARD_BYTES, &messages);
+    apply_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast, &messages);
+    obs.record_ghosts(per_rank);
+}
+
 /// [`exchange_ghosts`] over a faulty transport: the same canonical messages
 /// go through [`deliver_reliable`]'s retry/dedup protocol before being
 /// applied, accumulating fault and recovery counters into `session`.
@@ -118,10 +140,16 @@ pub fn exchange_ghosts_recoverable(
         a.clear_ghosts();
     }
     let messages = build_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast);
+    if let Some(o) = &session.obs {
+        o.count_messages(Some(scheme), ATOM_FORWARD_BYTES, &messages);
+    }
     let delivered =
         deliver_reliable(session, CHANNEL_FORWARD, step, ATOM_FORWARD_BYTES, &messages)
             .unwrap_or_else(|e| panic!("forward exchange at step {step}: {e}"));
     apply_forward_messages(decomp, per_rank, rc, scheme, lb_broadcast, &delivered);
+    if let Some(o) = &session.obs {
+        o.record_ghosts(per_rank);
+    }
 }
 
 /// Assemble the canonical forward messages of `scheme`: what every
@@ -404,6 +432,15 @@ pub fn reverse_forces(decomp: &Decomposition, per_rank: &mut [Atoms]) {
     apply_reverse_messages(per_rank, &messages);
 }
 
+/// [`reverse_forces`] with metric capture: charges the canonical reverse
+/// message set to `obs` (no scheme split — the reverse path is shared).
+pub fn reverse_forces_observed(decomp: &Decomposition, per_rank: &mut [Atoms], obs: &CommMetrics) {
+    let _ = decomp;
+    let messages = build_reverse_messages(per_rank);
+    obs.count_messages(None, ATOM_REVERSE_BYTES, &messages);
+    apply_reverse_messages(per_rank, &messages);
+}
+
 /// [`reverse_forces`] over a faulty transport, with the same recovery
 /// protocol (and panic-on-exhausted-retries contract) as
 /// [`exchange_ghosts_recoverable`].
@@ -415,6 +452,9 @@ pub fn reverse_forces_recoverable(
 ) {
     let _ = decomp;
     let messages = build_reverse_messages(per_rank);
+    if let Some(o) = &session.obs {
+        o.count_messages(None, ATOM_REVERSE_BYTES, &messages);
+    }
     let delivered =
         deliver_reliable(session, CHANNEL_REVERSE, step, ATOM_REVERSE_BYTES, &messages)
             .unwrap_or_else(|e| panic!("reverse reduction at step {step}: {e}"));

@@ -29,12 +29,17 @@
 //!   leader rank or TNI, cap the RDMA mempool — every decision keyed off
 //!   `(seed, step, edge, attempt)` so a scenario replays bit-identically;
 //! * [`transport`] — the recovery protocol over that faulty transport:
-//!   per-edge sequence numbers, timeout/retry/backoff, idempotent apply.
+//!   per-edge sequence numbers, timeout/retry/backoff, idempotent apply;
+//! * [`metrics`] — the [`CommMetrics`] handle bundle wiring all of the
+//!   above into a `dpmd_obs::MetricsRegistry` (messages/bytes per edge and
+//!   per scheme, transport retries and backoffs, mempool high-water, TNI
+//!   utilization).
 
 pub mod driver;
 pub mod fault;
 pub mod functional;
 pub mod mempool;
+pub mod metrics;
 pub mod node_based;
 pub mod p2p;
 pub mod plan;
@@ -43,6 +48,7 @@ pub mod transport;
 
 pub use fault::{FaultPlan, FaultSession, FaultStats, Stall, StallTarget};
 pub use mempool::{MemPool, PoolBlock, PoolError};
+pub use metrics::CommMetrics;
 pub use node_based::{NodeSchemeConfig, NodeSchemeResult};
 pub use plan::{HaloPlan, ATOM_FORWARD_BYTES, ATOM_REVERSE_BYTES};
 pub use transport::{deliver_reliable, DeliveryError, Message};

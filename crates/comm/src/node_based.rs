@@ -26,6 +26,7 @@ use fugaku::tofu::Torus3d;
 use fugaku::utofu::{ApiCosts, CommApi};
 use minimd::domain::{Decomposition, RANKS_PER_NODE};
 
+use crate::metrics::CommMetrics;
 use crate::plan::{HaloPlan, ATOM_FORWARD_BYTES, ATOM_REVERSE_BYTES};
 use crate::three_stage::CommResult;
 
@@ -141,7 +142,24 @@ pub fn simulate_with_stalled_tnis(
         Phase::Forward,
         stalled,
         stall_ns,
+        None,
     )
+}
+
+/// Simulate one phase with metric capture: per-TNI message counts (from
+/// the round-robin assignment) and simulated RDMA bytes are charged to
+/// `obs` (`fugaku.tniN.messages`, `fugaku.rdma.bytes_simulated`).
+pub fn simulate_observed(
+    machine: &MachineConfig,
+    decomp: &Decomposition,
+    torus: &Torus3d,
+    plan: &HaloPlan,
+    atoms_per_rank: &[usize],
+    cfg: NodeSchemeConfig,
+    phase: Phase,
+    obs: &CommMetrics,
+) -> NodeSchemeResult {
+    simulate_faulted(machine, decomp, torus, plan, atoms_per_rank, cfg, phase, &[], 0, Some(obs))
 }
 
 fn simulate_inner(
@@ -153,7 +171,7 @@ fn simulate_inner(
     cfg: NodeSchemeConfig,
     phase: Phase,
 ) -> NodeSchemeResult {
-    simulate_faulted(machine, decomp, torus, plan, atoms_per_rank, cfg, phase, &[], 0)
+    simulate_faulted(machine, decomp, torus, plan, atoms_per_rank, cfg, phase, &[], 0, None)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -167,6 +185,7 @@ fn simulate_faulted(
     phase: Phase,
     stalled_tnis: &[usize],
     stall_ns: u64,
+    obs: Option<&CommMetrics>,
 ) -> NodeSchemeResult {
     assert!(matches!(cfg.leaders, 1 | 2 | 4), "leaders must be 1, 2 or 4");
     let costs = ApiCosts::of(CommApi::Utofu);
@@ -233,6 +252,12 @@ fn simulate_faulted(
         };
         let tni_of =
             round_robin_assignment_avoiding(sends.len(), machine.tofu.tnis_per_node, stalled_tnis);
+        if let Some(o) = obs {
+            o.record_tni_assignment(&fugaku::tni::assignment_counts(
+                &tni_of,
+                machine.tofu.tnis_per_node,
+            ));
+        }
         for (mi, (dst, bytes)) in sends.into_iter().enumerate() {
             let thread = node_threads[node][mi % node_threads[node].len()];
             let tni = node_tnis[node][tni_of[mi]];
@@ -247,6 +272,9 @@ fn simulate_faulted(
             recv_deps[dst].push((inj, bytes));
             result.comm.internode_messages += 1;
             result.comm.internode_bytes += bytes as u64;
+            if let Some(o) = obs {
+                o.rdma_bytes.add(bytes as u64);
+            }
         }
     }
 

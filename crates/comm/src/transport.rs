@@ -122,13 +122,22 @@ pub fn deliver_reliable<T: Clone>(
                     // Exhausted: defer the send; retried next round after
                     // in-flight blocks free up.
                     session.stats.pool_exhausted += 1;
+                    if let Some(o) = &session.obs {
+                        o.pool_exhausted.inc();
+                    }
                     continue;
                 }
             };
             attempts[slot] = attempt + 1;
             session.stats.messages_sent += 1;
+            if let Some(o) = &session.obs {
+                o.transmissions.inc();
+            }
             if attempt > 0 {
                 session.stats.retries += 1;
+                if let Some(o) = &session.obs {
+                    o.retries.inc();
+                }
             }
             if plan.decide_drop(step, m.src, m.dst, attempt) {
                 session.stats.dropped += 1;
@@ -177,7 +186,11 @@ pub fn deliver_reliable<T: Clone>(
         // (5) Timeout: anything still missing backs off and resends.
         if remaining > 0 && round + 1 < rounds {
             session.stats.timeout_rounds += 1;
-            session.stats.backoff_ns += plan.backoff_base_ns << round.min(20);
+            let backoff = plan.backoff_base_ns << round.min(20);
+            session.stats.backoff_ns += backoff;
+            if let Some(o) = &session.obs {
+                o.backoff_ns.add(backoff);
+            }
         }
     }
 
@@ -189,6 +202,15 @@ pub fn deliver_reliable<T: Clone>(
         if let Some(b) = fl.block {
             session.pool.free(b);
         }
+    }
+
+    if let Some(o) = &session.obs {
+        // Per-message retry count distribution (0 = delivered first try)
+        // and the staging pool's occupancy high-water.
+        for &a in &attempts {
+            o.retry_rounds.record(a.saturating_sub(1) as u64);
+        }
+        o.mempool_peak.set_max(session.pool.peak_used() as u64);
     }
 
     if remaining > 0 {

@@ -8,6 +8,7 @@ use deepmd::dataset;
 use deepmd::engine::DpEngine;
 use deepmd::model::DeepPotModel;
 use deepmd::train::{fit_energy_bias, train, TrainConfig};
+use dpmd_obs::{MetricsRegistry, TraceBuffer};
 use dpmd_threads::ThreadPool;
 use minimd::integrate::{init_velocities, Thermostat, VelocityVerlet};
 use minimd::sim::{Simulation, StepTiming, Thermo};
@@ -43,6 +44,7 @@ pub struct EngineBuilder {
     compression: Option<usize>,
     model: Option<DeepPotModel>,
     threads: Option<usize>,
+    obs: Option<(MetricsRegistry, TraceBuffer)>,
 }
 
 impl Default for EngineBuilder {
@@ -59,6 +61,7 @@ impl Default for EngineBuilder {
             compression: None,
             model: None,
             threads: None,
+            obs: None,
         }
     }
 }
@@ -137,6 +140,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Record metrics into `registry` and per-step span trees into `trace`
+    /// (the `md --profile/--trace` path). A no-op unless `dpmd-obs` is
+    /// built with its `capture` feature.
+    pub fn observe(mut self, registry: MetricsRegistry, trace: TraceBuffer) -> Self {
+        self.obs = Some((registry, trace));
+        self
+    }
+
     /// Train (if needed) and assemble the engine.
     pub fn build(self) -> Engine {
         let model: DeepPotModel = match self.model.clone() {
@@ -177,6 +188,7 @@ pub struct Engine {
     sim: Simulation,
     timestep_fs: f64,
     precision: Precision,
+    obs: Option<(MetricsRegistry, TraceBuffer)>,
 }
 
 impl Engine {
@@ -195,13 +207,21 @@ impl Engine {
         if let Some(n) = b.threads {
             dp = dp.with_pool(Arc::new(ThreadPool::new(n)));
         }
+        if let Some((reg, _)) = &b.obs {
+            // Attach before the initial force evaluation in Simulation::new
+            // so eval/GEMM counters cover the whole run.
+            dp.attach_obs(reg);
+        }
         let mut vv = VelocityVerlet::new(b.timestep_fs * FEMTOSECOND);
         if b.thermostat {
             vv.thermostat = Thermostat::Berendsen { t_target: b.temperature, tau_ps: 0.05 };
         }
         // Paper settings: skin 2 Å, rebuild every 50 steps.
-        let sim = Simulation::new(bx, atoms, Box::new(dp), vv, 2.0, 50);
-        Engine { sim, timestep_fs: b.timestep_fs, precision: b.precision }
+        let mut sim = Simulation::new(bx, atoms, Box::new(dp), vv, 2.0, 50);
+        if let Some((reg, trace)) = &b.obs {
+            sim.attach_obs(reg, trace);
+        }
+        Engine { sim, timestep_fs: b.timestep_fs, precision: b.precision, obs: b.obs }
     }
 
     /// Advance `n` steps, returning the thermodynamic trace.
@@ -228,6 +248,16 @@ impl Engine {
     /// first step).
     pub fn timing(&self) -> StepTiming {
         self.sim.timing()
+    }
+
+    /// The metrics registry attached via [`EngineBuilder::observe`], if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.obs.as_ref().map(|(r, _)| r)
+    }
+
+    /// The trace buffer attached via [`EngineBuilder::observe`], if any.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.obs.as_ref().map(|(_, t)| t)
     }
 
     /// The engine's precision mode.

@@ -36,6 +36,7 @@ pub mod prelude {
     pub use deepmd::model::DeepPotModel;
     pub use dpmd_scaling::kernels::OptLevel;
     pub use dpmd_scaling::systems::SystemSpec;
+    pub use dpmd_obs::{MetricsRegistry, TraceBuffer};
     pub use minimd::sim::{StepTiming, Thermo};
     pub use nnet::precision::Precision;
 }

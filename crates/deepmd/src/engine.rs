@@ -14,6 +14,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use dpmd_obs::{Counter, MetricsRegistry, Unit};
 use dpmd_threads::{atom_chunks, ThreadPool};
 use minimd::atoms::Atoms;
 use minimd::neighbor::NeighborList;
@@ -25,6 +26,7 @@ use nnet::f16::F16;
 use nnet::gemm::simd;
 use nnet::layers::Resnet;
 use nnet::precision::Precision;
+use nnet::stats::{GemmTally, PrecClass};
 
 use crate::descriptor::build_environments_on;
 use crate::model::DeepPotModel;
@@ -57,10 +59,15 @@ impl Emb32 {
     }
 
     /// f32 forward-mode value + derivative at scalar input `s`.
-    fn forward_with_grad(&self, s: f32) -> (Vec<f32>, Vec<f32>) {
+    fn forward_with_grad(&self, s: f32, tally: Option<&GemmTally>) -> (Vec<f32>, Vec<f32>) {
         let mut val = vec![s];
         let mut tan = vec![1.0f32];
         for (w, b, act, resnet, ind, outd) in &self.layers {
+            if let Some(t) = tally {
+                // Value + tangent matvecs run fused below; count one
+                // GEMM-equivalent per layer.
+                t.record(1, *outd, *ind, PrecClass::F32);
+            }
             let mut pre = b.clone();
             let mut dpre = vec![0.0f32; *outd];
             for i in 0..*ind {
@@ -133,7 +140,12 @@ impl Fit32 {
 
     /// Energy and ∂E/∂D for a single descriptor row, in f32 (first-layer
     /// GEMMs in fp16 when `f16_first` is set).
-    fn energy_and_grad(&self, d: &[f32], f16_first: bool) -> (f32, Vec<f32>) {
+    fn energy_and_grad(
+        &self,
+        d: &[f32],
+        f16_first: bool,
+        tally: Option<&GemmTally>,
+    ) -> (f32, Vec<f32>) {
         let nl = self.layers.len();
         // Forward, saving biased pre-activations and inputs.
         let mut pres: Vec<Vec<f32>> = Vec::with_capacity(nl);
@@ -144,8 +156,14 @@ impl Fit32 {
             if li == 0 && f16_first {
                 let x16: Vec<F16> = x.iter().map(|&v| F16::from_f32(v)).collect();
                 simd::gemm_nn_f16(1, *outd, *ind, &x16, &self.w16_first, &mut pre);
+                if let Some(t) = tally {
+                    t.record(1, *outd, *ind, PrecClass::F16);
+                }
             } else {
                 simd::gemm_nn_f32(1, *outd, *ind, &x, w, &mut pre);
+                if let Some(t) = tally {
+                    t.record(1, *outd, *ind, PrecClass::F32);
+                }
             }
             for (p, &bb) in pre.iter_mut().zip(b) {
                 *p += bb;
@@ -183,8 +201,14 @@ impl Fit32 {
             if li == 0 && f16_first {
                 let dpre16: Vec<F16> = dpre.iter().map(|&v| F16::from_f32(v)).collect();
                 simd::gemm_nn_f16(1, *ind, *outd, &dpre16, &self.wt16_first, &mut dx);
+                if let Some(t) = tally {
+                    t.record(1, *ind, *outd, PrecClass::F16);
+                }
             } else {
                 simd::gemm_nn_f32(1, *ind, *outd, &dpre, wt, &mut dx);
+                if let Some(t) = tally {
+                    t.record(1, *ind, *outd, PrecClass::F32);
+                }
             }
             match resnet {
                 Resnet::None => {}
@@ -214,6 +238,15 @@ struct AtomEmbed32 {
     coords: Vec<[f32; 4]>,
 }
 
+/// Observability handles of an attached engine: per-precision evaluation
+/// counters plus the GEMM shape-class tally shared with `nnet`.
+#[derive(Clone, Debug)]
+struct DpObs {
+    /// `deepmd.eval.{fp64,fp32,fp16}.calls`, indexed by precision path.
+    evals: [Counter; 3],
+    gemm: GemmTally,
+}
+
 /// A precision-parameterized inference engine over a trained model.
 pub struct DpEngine {
     /// The underlying f64 model (reference path and source of weights).
@@ -227,6 +260,8 @@ pub struct DpEngine {
     /// Phase breakdown of the last evaluation (`compute` takes `&self`, so
     /// interior mutability is needed to record it).
     last_phases: Mutex<Option<ForcePhases>>,
+    /// Metric handles; `None` (the default) skips all recording.
+    obs: Option<DpObs>,
 }
 
 impl DpEngine {
@@ -236,7 +271,48 @@ impl DpEngine {
     pub fn new(model: DeepPotModel, precision: Precision) -> Self {
         let emb32 = model.embeddings.iter().map(Emb32::from_model).collect();
         let fit32 = model.fittings.iter().map(Fit32::from_model).collect();
-        DpEngine { model, precision, emb32, fit32, pool: None, last_phases: Mutex::new(None) }
+        DpEngine {
+            model,
+            precision,
+            emb32,
+            fit32,
+            pool: None,
+            last_phases: Mutex::new(None),
+            obs: None,
+        }
+    }
+
+    /// Register this engine's metrics on `reg` and start recording: one
+    /// evaluation counter per precision path, and a GEMM call tally keyed by
+    /// M×N×K shape class covering every fitting-net GEMM (forward and
+    /// backward, fp32 and fp16 first-layer variants) and the per-neighbour
+    /// embedding matvecs.
+    pub fn attach_obs(&mut self, reg: &MetricsRegistry) {
+        let mut shapes: Vec<(usize, usize, usize, PrecClass)> = Vec::new();
+        for fit in &self.fit32 {
+            for (li, (_, _, _, _, _, ind, outd)) in fit.layers.iter().enumerate() {
+                shapes.push((1, *outd, *ind, PrecClass::F32)); // forward
+                shapes.push((1, *ind, *outd, PrecClass::F32)); // backward
+                if li == 0 {
+                    // The Mix16 path runs the first layer on f16 storage.
+                    shapes.push((1, *outd, *ind, PrecClass::F16));
+                    shapes.push((1, *ind, *outd, PrecClass::F16));
+                }
+            }
+        }
+        for emb in &self.emb32 {
+            for (_, _, _, _, ind, outd) in &emb.layers {
+                shapes.push((1, *outd, *ind, PrecClass::F32));
+            }
+        }
+        self.obs = Some(DpObs {
+            evals: [
+                reg.counter("deepmd.eval.fp64.calls", Unit::Count),
+                reg.counter("deepmd.eval.fp32.calls", Unit::Count),
+                reg.counter("deepmd.eval.fp16.calls", Unit::Count),
+            ],
+            gemm: GemmTally::register(reg, &shapes),
+        });
     }
 
     /// Run all evaluations on the given pool instead of the global one
@@ -275,8 +351,9 @@ impl DpEngine {
         let mut dg_ds = vec![0.0f32; n * m1];
         let mut t = vec![0.0f32; m1 * 4];
         let mut coords = vec![[0.0f32; 4]; n];
+        let tally = self.obs.as_ref().map(|o| &o.gemm);
         for (k, e) in env.entries.iter().enumerate() {
-            let (gv, dgv) = self.emb32[e.typ as usize].forward_with_grad(e.s as f32);
+            let (gv, dgv) = self.emb32[e.typ as usize].forward_with_grad(e.s as f32, tally);
             let c64 = e.coords();
             let c = [c64[0] as f32, c64[1] as f32, c64[2] as f32, c64[3] as f32];
             coords[k] = c;
@@ -300,6 +377,14 @@ impl DpEngine {
         bx: &SimBox,
         forces: &mut [Vec3],
     ) -> PotentialOutput {
+        if let Some(o) = &self.obs {
+            let idx = match self.precision {
+                Precision::Double => 0,
+                Precision::Mix32 => 1,
+                Precision::Mix16 => 2,
+            };
+            o.evals[idx].inc();
+        }
         if self.precision == Precision::Double {
             let (out, phases) = self.model.energy_forces_on(self.pool(), atoms, nl, bx, forces);
             *self.last_phases.lock().unwrap() = Some(phases);
@@ -348,6 +433,7 @@ impl DpEngine {
         {
             let (envs, embeds) = (&envs, &embeds);
             let nall = atoms.len();
+            let tally = self.obs.as_ref().map(|o| &o.gemm);
             pool.scope(|sc| {
                 for (range, slot) in chunks.iter().zip(outs.iter_mut()) {
                     let range = range.clone();
@@ -371,7 +457,8 @@ impl DpEngine {
                                     d[a * m2 + b] = acc;
                                 }
                             }
-                            let (e_fit, de_dd) = self.fit32[ti].energy_and_grad(&d, f16_first);
+                            let (e_fit, de_dd) =
+                                self.fit32[ti].energy_and_grad(&d, f16_first, tally);
                             energy += e_fit as f64 + self.model.energy_bias[ti];
 
                             // dT.
@@ -427,6 +514,10 @@ impl DpEngine {
                 }
             });
         }
+        phases.fitting_s = t0.elapsed().as_secs_f64();
+
+        // Deterministic fixed-order reduction: merge in chunk order.
+        let t0 = Instant::now();
         let mut total_e = 0.0f64;
         let mut virial = 0.0f64;
         for out in outs.into_iter().flatten() {
@@ -436,7 +527,7 @@ impl DpEngine {
                 *f += *b;
             }
         }
-        phases.fitting_s = t0.elapsed().as_secs_f64();
+        phases.reduction_s = t0.elapsed().as_secs_f64();
 
         *self.last_phases.lock().unwrap() = Some(phases);
         PotentialOutput { energy: total_e, virial: -virial }

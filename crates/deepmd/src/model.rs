@@ -348,7 +348,10 @@ impl DeepPotModel {
                 }
             });
         }
+        phases.fitting_s = t0.elapsed().as_secs_f64();
+
         // Deterministic fixed-order reduction: merge in chunk order.
+        let t0 = Instant::now();
         let mut total_e = 0.0;
         let mut virial = 0.0;
         for out in outs.into_iter().flatten() {
@@ -358,7 +361,7 @@ impl DeepPotModel {
                 *f += *b;
             }
         }
-        phases.fitting_s = t0.elapsed().as_secs_f64();
+        phases.reduction_s = t0.elapsed().as_secs_f64();
 
         (PotentialOutput { energy: total_e, virial: -virial }, phases)
     }

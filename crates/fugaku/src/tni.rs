@@ -63,6 +63,19 @@ pub fn round_robin_assignment_avoiding(
     (0..n_messages).map(|m| healthy[m % healthy.len()]).collect()
 }
 
+/// Per-engine message counts of an assignment (utilization summary): entry
+/// `t` is how many messages landed on TNI `t`. Out-of-range entries are
+/// ignored.
+pub fn assignment_counts(assignment: &[usize], n_tnis: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_tnis];
+    for &t in assignment {
+        if t < n_tnis {
+            counts[t] += 1;
+        }
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +113,15 @@ mod tests {
     #[should_panic(expected = "unreachable")]
     fn all_tnis_stalled_is_rejected() {
         round_robin_assignment_avoiding(1, 2, &[0, 1]);
+    }
+
+    #[test]
+    fn assignment_counts_summarize_utilization() {
+        let a = round_robin_assignment_avoiding(20, 6, &[2, 5]);
+        let counts = assignment_counts(&a, 6);
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        assert_eq!(counts[2] + counts[5], 0);
+        assert_eq!(assignment_counts(&[0, 9], 2), vec![1, 0], "out-of-range ignored");
     }
 
     #[test]

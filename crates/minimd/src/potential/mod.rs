@@ -44,12 +44,15 @@ pub struct ForcePhases {
     pub embedding_s: f64,
     /// Fitting-net forward/backward and the per-neighbour chain rule.
     pub fitting_s: f64,
+    /// Deterministic chunk-ordered merge of per-chunk force buffers and
+    /// energy/virial partials (single-threaded by construction).
+    pub reduction_s: f64,
 }
 
 impl ForcePhases {
     /// Sum of the recorded phases.
     pub fn total(&self) -> f64 {
-        self.descriptor_s + self.embedding_s + self.fitting_s
+        self.descriptor_s + self.embedding_s + self.fitting_s + self.reduction_s
     }
 }
 

@@ -7,7 +7,10 @@
 //! and by training-data generation; the at-scale distributed behaviour is
 //! modelled by the `comm`/`scaling` crates.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use dpmd_obs::steps::{StepPhases, StepSeries};
+use dpmd_obs::{Counter, MetricsRegistry, TraceBuffer, Unit};
 
 use crate::atoms::Atoms;
 use crate::compute::pressure_bar;
@@ -60,6 +63,23 @@ impl StepTiming {
     }
 }
 
+/// Metric and trace handles attached by [`Simulation::attach_obs`].
+struct SimObs {
+    /// `minimd.steps` — completed steps.
+    steps: Counter,
+    /// `minimd.neighbor.rebuilds` — neighbour-list rebuilds (cadence or
+    /// drift triggered).
+    rebuilds: Counter,
+    /// `minimd.wall.*_ns` — cumulative wall time per phase (non-
+    /// deterministic, excluded from golden snapshots).
+    wall_neighbor: Counter,
+    wall_force: Counter,
+    wall_integrate: Counter,
+    wall_total: Counter,
+    /// Per-step span tree destination.
+    trace: TraceBuffer,
+}
+
 /// A complete single-box simulation.
 pub struct Simulation {
     /// Periodic box.
@@ -79,7 +99,11 @@ pub struct Simulation {
     /// Virial of the last force evaluation, kept so KE-dependent outputs
     /// (pressure included) can be refreshed after the final Verlet kick.
     last_virial: f64,
-    last_timing: StepTiming,
+    /// Per-step phase record; [`timing`](Self::timing) is a view over its
+    /// latest entry.
+    series: StepSeries,
+    /// Metric handles; `None` (the default) skips all recording.
+    obs: Option<SimObs>,
 }
 
 impl Simulation {
@@ -104,7 +128,8 @@ impl Simulation {
             step: 0,
             last: Thermo::default(),
             last_virial: 0.0,
-            last_timing: StepTiming::default(),
+            series: StepSeries::new(),
+            obs: None,
         };
         sim.nl.build(&sim.atoms, &sim.bx);
         sim.recompute_forces();
@@ -122,9 +147,46 @@ impl Simulation {
     }
 
     /// Wall-clock breakdown of the last completed step (zeros before the
-    /// first [`step`](Self::step) call).
+    /// first [`step`](Self::step) call) — a view over the latest
+    /// [`step_series`](Self::step_series) entry.
     pub fn timing(&self) -> StepTiming {
-        self.last_timing
+        match self.series.last() {
+            None => StepTiming::default(),
+            Some(p) => StepTiming {
+                step: p.step,
+                neighbor_s: p.neighbor_s,
+                force_s: p.force_s,
+                phases: ForcePhases {
+                    descriptor_s: p.descriptor_s,
+                    embedding_s: p.embedding_s,
+                    fitting_s: p.fitting_s,
+                    reduction_s: p.reduction_s,
+                },
+                integrate_s: p.integrate_s,
+                total_s: p.total_s,
+            },
+        }
+    }
+
+    /// Full per-step phase record of the run so far.
+    pub fn step_series(&self) -> &StepSeries {
+        &self.series
+    }
+
+    /// Register this simulation's metrics on `reg` and mirror per-step
+    /// span trees into `trace`. Step/rebuild counts are deterministic;
+    /// the cumulative `minimd.wall.*_ns` counters carry [`Unit::WallNs`]
+    /// and are excluded from deterministic snapshots.
+    pub fn attach_obs(&mut self, reg: &MetricsRegistry, trace: &TraceBuffer) {
+        self.obs = Some(SimObs {
+            steps: reg.counter("minimd.steps", Unit::Count),
+            rebuilds: reg.counter("minimd.neighbor.rebuilds", Unit::Count),
+            wall_neighbor: reg.counter("minimd.wall.neighbor_ns", Unit::WallNs),
+            wall_force: reg.counter("minimd.wall.force_ns", Unit::WallNs),
+            wall_integrate: reg.counter("minimd.wall.integrate_ns", Unit::WallNs),
+            wall_total: reg.counter("minimd.wall.total_ns", Unit::WallNs),
+            trace: trace.clone(),
+        });
     }
 
     fn recompute_forces(&mut self) -> f64 {
@@ -146,27 +208,65 @@ impl Simulation {
     /// Advance one velocity-Verlet step.
     pub fn step(&mut self) -> Thermo {
         let t_step = Instant::now();
-        let mut timing = StepTiming::default();
+        let mut rec = StepPhases::default();
 
         let t0 = Instant::now();
         self.integrator.first_half(&mut self.atoms, &self.bx);
-        timing.integrate_s += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        rec.integrate_s += (t1 - t0).as_secs_f64();
+        if let Some(o) = &self.obs {
+            o.trace.push_complete("integrate.first", t0, t1);
+        }
 
         let cadence_hit = self.rebuild_every > 0 && (self.step + 1) % self.rebuild_every == 0;
         if cadence_hit || self.nl.needs_rebuild(&self.atoms, &self.bx) {
             let t0 = Instant::now();
             self.nl.build(&self.atoms, &self.bx);
-            timing.neighbor_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            rec.neighbor_s = (t1 - t0).as_secs_f64();
+            if let Some(o) = &self.obs {
+                o.rebuilds.inc();
+                o.trace.push_complete("neighbor.rebuild", t0, t1);
+            }
+        }
+
+        let t_force = Instant::now();
+        self.recompute_forces();
+        let t_force_end = Instant::now();
+        rec.force_s = (t_force_end - t_force).as_secs_f64();
+        let phases = self.potential.phase_times().unwrap_or_default();
+        rec.descriptor_s = phases.descriptor_s;
+        rec.embedding_s = phases.embedding_s;
+        rec.fitting_s = phases.fitting_s;
+        rec.reduction_s = phases.reduction_s;
+        if let Some(o) = &self.obs {
+            o.trace.push_complete("force", t_force, t_force_end);
+            // The force sub-phases are sequential barrier-separated passes;
+            // lay them out back-to-back from the force start. Their sum can
+            // undershoot `force_s` (scheduling overhead) but clamping keeps
+            // them inside the parent span even under f64 rounding.
+            let mut cursor = t_force;
+            for (name, secs) in [
+                ("force.descriptor", phases.descriptor_s),
+                ("force.embedding", phases.embedding_s),
+                ("force.fitting", phases.fitting_s),
+                ("force.reduction", phases.reduction_s),
+            ] {
+                if secs > 0.0 {
+                    let end = (cursor + Duration::from_secs_f64(secs)).min(t_force_end);
+                    o.trace.push_complete(name, cursor, end);
+                    cursor = end;
+                }
+            }
         }
 
         let t0 = Instant::now();
-        self.recompute_forces();
-        timing.force_s = t0.elapsed().as_secs_f64();
-        timing.phases = self.potential.phase_times().unwrap_or_default();
-
-        let t0 = Instant::now();
         self.integrator.second_half(&mut self.atoms);
-        timing.integrate_s += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        rec.integrate_s += (t1 - t0).as_secs_f64();
+        if let Some(o) = &self.obs {
+            o.trace.push_complete("integrate.second", t0, t1);
+        }
 
         // Refresh KE-dependent outputs after the final kick. The pressure's
         // kinetic term changes with the kick too: recompute it from the
@@ -179,9 +279,18 @@ impl Simulation {
         self.last.pressure = pressure_bar(&self.atoms, &self.bx, ke, self.last_virial);
         self.step += 1;
         self.last.step = self.step;
-        timing.step = self.step;
-        timing.total_s = t_step.elapsed().as_secs_f64();
-        self.last_timing = timing;
+        rec.step = self.step;
+        let t_end = Instant::now();
+        rec.total_s = (t_end - t_step).as_secs_f64();
+        if let Some(o) = &self.obs {
+            o.trace.push_complete("step", t_step, t_end);
+            o.steps.inc();
+            o.wall_neighbor.add((rec.neighbor_s * 1e9) as u64);
+            o.wall_force.add((rec.force_s * 1e9) as u64);
+            o.wall_integrate.add((rec.integrate_s * 1e9) as u64);
+            o.wall_total.add((rec.total_s * 1e9) as u64);
+        }
+        self.series.push(rec);
         self.last
     }
 
@@ -290,6 +399,31 @@ mod tests {
         assert!(t.phase_sum_s() <= t.total_s, "{} vs {}", t.phase_sum_s(), t.total_s);
         // Analytic potentials report no sub-phases.
         assert_eq!(t.phases, crate::potential::ForcePhases::default());
+    }
+
+    #[test]
+    fn attach_obs_records_steps_and_a_well_nested_span_tree() {
+        let (bx, mut atoms) = crate::lattice::fcc_lattice(3, 3, 3, 5.3);
+        init_velocities(&mut atoms, 30.0, 1);
+        let lj = LennardJones::argon_like();
+        let mut sim =
+            Simulation::new(bx, atoms, Box::new(lj), VelocityVerlet::new(2.0 * FEMTOSECOND), 1.0, 50);
+        let reg = MetricsRegistry::new();
+        let trace = TraceBuffer::new();
+        sim.attach_obs(&reg, &trace);
+        sim.run(3);
+        // The series records regardless of the capture feature.
+        assert_eq!(sim.step_series().len(), 3);
+        assert_eq!(sim.timing().step, 3);
+        assert!(sim.step_series().totals().force_s > 0.0);
+        if !reg.is_enabled() {
+            return;
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("minimd.steps"), Some(3));
+        let events = trace.events();
+        assert_eq!(events.iter().filter(|e| e.name == "step").count(), 3);
+        dpmd_obs::trace::validate_well_nested(&events).unwrap();
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   that materializes redundant gradient kernels);
 //! * [`direct`] — the "TensorFlow removed" execution path: preallocated
 //!   workspaces, fused kernels, zero framework overhead;
-//! * [`init`] — deterministic weight initialization and JSON model I/O.
+//! * [`init`] — deterministic weight initialization and JSON model I/O;
+//! * [`stats`] — GEMM call accounting by M×N×K shape class and precision
+//!   for the observability layer (no-op unless `dpmd-obs/capture` is on).
 //!
 //! The crate is deliberately dependency-light and deterministic: every random
 //! draw is seeded, so experiments are reproducible bit-for-bit at a given
@@ -31,6 +33,7 @@ pub mod init;
 pub mod layers;
 pub mod matrix;
 pub mod precision;
+pub mod stats;
 
 pub use f16::F16;
 pub use matrix::{Matrix, Scalar};

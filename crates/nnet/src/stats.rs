@@ -1,0 +1,142 @@
+//! GEMM call accounting for the observability layer.
+//!
+//! The paper's optimization story is dominated by a handful of GEMM shape
+//! classes (the tall-and-skinny M ≤ 3 fitting-net calls, the per-neighbour
+//! embedding matvecs), so the profile keys call counts by `M×N×K` shape and
+//! precision class rather than by call site. [`GemmTally`] is a fixed table
+//! of pre-registered `(shape, counter)` slots: recording is a linear scan
+//! over a short slice plus one relaxed atomic increment — no allocation, no
+//! locking, no hashing on the hot path. Shapes nobody registered fall into a
+//! shared `nnet.gemm.other.calls` bucket, so the counters always sum to the
+//! total number of calls.
+//!
+//! With the `capture` feature of `dpmd-obs` disabled the counters are ZSTs
+//! and everything here compiles to nothing.
+
+use std::sync::Arc;
+
+use dpmd_obs::{Counter, MetricsRegistry};
+
+/// Precision class of a GEMM call (storage type of the operands; the f16
+/// kernels still accumulate in f32, per the paper's fp16-sve-gemm).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrecClass {
+    /// f64 storage and accumulation (reference path).
+    F64,
+    /// f32 storage and accumulation.
+    F32,
+    /// binary16 storage, f32 accumulation.
+    F16,
+}
+
+impl PrecClass {
+    /// Short tag used in metric names (`fp64`/`fp32`/`fp16`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            PrecClass::F64 => "fp64",
+            PrecClass::F32 => "fp32",
+            PrecClass::F16 => "fp16",
+        }
+    }
+
+    fn bits(self) -> u64 {
+        match self {
+            PrecClass::F64 => 0,
+            PrecClass::F32 => 1,
+            PrecClass::F16 => 2,
+        }
+    }
+}
+
+/// Bit-pack a GEMM shape + precision into one comparable key (16 bits per
+/// dimension — far beyond any shape this codebase runs — plus 2 tag bits).
+#[inline]
+pub fn shape_key(m: usize, n: usize, k: usize, p: PrecClass) -> u64 {
+    ((m as u64 & 0xFFFF) << 34) | ((n as u64 & 0xFFFF) << 18) | ((k as u64 & 0xFFFF) << 2) | p.bits()
+}
+
+/// Pre-registered per-shape GEMM call counters plus an `other` overflow
+/// bucket. Cloning is cheap (the slot table is shared).
+#[derive(Clone, Debug)]
+pub struct GemmTally {
+    slots: Arc<Vec<(u64, Counter)>>,
+    other: Counter,
+}
+
+impl GemmTally {
+    /// Register counters for the given `(m, n, k, precision)` shape classes
+    /// (duplicates collapse to one slot). Metric names look like
+    /// `nnet.gemm.fp16.m1n32k64.calls`.
+    pub fn register(reg: &MetricsRegistry, shapes: &[(usize, usize, usize, PrecClass)]) -> Self {
+        let mut slots: Vec<(u64, Counter)> = Vec::with_capacity(shapes.len());
+        if !reg.is_enabled() {
+            // Capture disabled: keep the slot table empty so record() is a
+            // key pack + empty scan + ZST increment.
+            return GemmTally {
+                slots: Arc::new(slots),
+                other: reg.counter("nnet.gemm.other.calls", dpmd_obs::Unit::Count),
+            };
+        }
+        for &(m, n, k, p) in shapes {
+            let key = shape_key(m, n, k, p);
+            if slots.iter().any(|(s, _)| *s == key) {
+                continue;
+            }
+            let name = format!("nnet.gemm.{}.m{m}n{n}k{k}.calls", p.tag());
+            slots.push((key, reg.counter(&name, dpmd_obs::Unit::Count)));
+        }
+        GemmTally {
+            slots: Arc::new(slots),
+            other: reg.counter("nnet.gemm.other.calls", dpmd_obs::Unit::Count),
+        }
+    }
+
+    /// Count one GEMM call of the given shape and precision.
+    #[inline]
+    pub fn record(&self, m: usize, n: usize, k: usize, p: PrecClass) {
+        let key = shape_key(m, n, k, p);
+        for (s, c) in self.slots.iter() {
+            if *s == key {
+                c.inc();
+                return;
+            }
+        }
+        self.other.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_key_is_injective_over_small_shapes() {
+        let mut seen = std::collections::HashSet::new();
+        for m in [1usize, 2, 3, 64] {
+            for n in [1usize, 32, 240] {
+                for k in [4usize, 32, 64] {
+                    for p in [PrecClass::F64, PrecClass::F32, PrecClass::F16] {
+                        assert!(seen.insert(shape_key(m, n, k, p)), "collision at {m}x{n}x{k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registered_shapes_count_and_unknown_shapes_overflow() {
+        let reg = MetricsRegistry::default();
+        let tally =
+            GemmTally::register(&reg, &[(1, 32, 64, PrecClass::F32), (1, 32, 64, PrecClass::F32)]);
+        if !reg.is_enabled() {
+            return;
+        }
+        tally.record(1, 32, 64, PrecClass::F32);
+        tally.record(1, 32, 64, PrecClass::F32);
+        tally.record(1, 32, 64, PrecClass::F16); // different precision → other
+        tally.record(9, 9, 9, PrecClass::F32);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("nnet.gemm.fp32.m1n32k64.calls"), Some(2));
+        assert_eq!(snap.counter("nnet.gemm.other.calls"), Some(2));
+    }
+}

@@ -1,0 +1,47 @@
+//! # dpmd-obs — the measurement substrate of the reproduction.
+//!
+//! The paper's results rest on attribution: the 81 % communication saving
+//! and the 14.11× compute speedup were found by charging time and bytes to
+//! individual kernels and exchange phases. This crate is the repro's
+//! equivalent instrument: a **global-free** [`MetricsRegistry`] of typed
+//! counters, gauges and fixed-bucket histograms, plus a [`TraceBuffer`] of
+//! nestable span timers that exports `chrome://tracing` / Perfetto event
+//! files.
+//!
+//! Design constraints (per the observability issue):
+//!
+//! * **Global-free** — a registry is a value you thread through the stack;
+//!   two simulations in one process never share counters.
+//! * **Allocation-free on the hot path** — handles are registered once
+//!   (`registry.counter(...)`) and then increment a pre-allocated atomic
+//!   cell; recording never allocates.
+//! * **Zero-cost when disabled** — without the `capture` cargo feature,
+//!   every handle is a zero-sized struct whose methods are empty `#[inline]`
+//!   bodies, so instrumentation compiles away entirely.
+//! * **Deterministic** — [`MetricsRegistry::snapshot_deterministic`] drops
+//!   wall-clock-valued metrics ([`Unit::WallNs`]) and sorts by name, so the
+//!   same seed yields a bit-identical JSON snapshot; wall times live in the
+//!   (schema-validated, not golden-compared) Chrome trace instead.
+//!
+//! Always-on companions (compiled with or without `capture`):
+//! [`steps::StepSeries`] (the per-step phase store `minimd`'s `StepTiming`
+//! is a view over), [`schema`] (JSON validators for profile and trace
+//! files), and [`trace::TraceEvent`] utilities.
+
+pub mod schema;
+pub mod snapshot;
+pub mod steps;
+pub mod trace;
+
+#[cfg(feature = "capture")]
+mod capture;
+#[cfg(feature = "capture")]
+pub use capture::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard, TraceBuffer};
+
+#[cfg(not(feature = "capture"))]
+mod noop;
+#[cfg(not(feature = "capture"))]
+pub use noop::{Counter, Gauge, Histogram, MetricsRegistry, SpanGuard, TraceBuffer};
+
+pub use snapshot::{HistogramSnapshot, ScalarMetric, Snapshot, Unit};
+pub use trace::TraceEvent;

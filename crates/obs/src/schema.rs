@@ -1,0 +1,173 @@
+//! Structural JSON-schema validation for profile and trace files.
+//!
+//! CI's `profile-smoke` job (and the CLI `validate-obs` subcommand) use
+//! these checks to assert that `md --profile/--trace` emitted well-formed
+//! documents without comparing against a golden file.
+
+use crate::snapshot::Unit;
+use serde::Value;
+
+/// Validate a parsed profile document against the snapshot schema:
+/// `{version: 1, counters: {...}, gauges: {...}, histograms: {...}}` where
+/// every scalar entry is `{unit, value}` and every histogram entry is
+/// `{unit, bounds, counts}` with `counts.len() == bounds.len() + 1`.
+pub fn validate_profile(v: &Value) -> Result<(), String> {
+    let obj = v.as_object().ok_or("profile: root must be an object")?;
+    match obj.iter().find(|(k, _)| k == "version").map(|(_, v)| v) {
+        Some(Value::Number(n)) if n == "1" => {}
+        Some(_) => return Err("profile: 'version' must be the number 1".into()),
+        None => return Err("profile: missing 'version'".into()),
+    }
+    for key in ["counters", "gauges"] {
+        let section = obj
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("profile: missing '{key}'"))?;
+        let metrics = section.as_object().ok_or_else(|| format!("profile: '{key}' must be an object"))?;
+        for (name, m) in metrics {
+            check_unit(m).map_err(|e| format!("profile: {key}.{name}: {e}"))?;
+            check_u64(m, "value").map_err(|e| format!("profile: {key}.{name}: {e}"))?;
+        }
+    }
+    let hists = obj
+        .iter()
+        .find(|(k, _)| k == "histograms")
+        .map(|(_, v)| v)
+        .ok_or("profile: missing 'histograms'")?
+        .as_object()
+        .ok_or("profile: 'histograms' must be an object")?;
+    for (name, h) in hists {
+        check_unit(h).map_err(|e| format!("profile: histograms.{name}: {e}"))?;
+        let bounds = check_u64_array(h, "bounds").map_err(|e| format!("profile: histograms.{name}: {e}"))?;
+        let counts = check_u64_array(h, "counts").map_err(|e| format!("profile: histograms.{name}: {e}"))?;
+        if counts != bounds + 1 {
+            return Err(format!(
+                "profile: histograms.{name}: counts has {counts} entries, expected bounds+1 = {}",
+                bounds + 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parse then [`validate_profile`].
+pub fn validate_profile_json(s: &str) -> Result<(), String> {
+    let v = serde_json::parse(s).map_err(|e| format!("profile: invalid JSON: {e:?}"))?;
+    validate_profile(&v)
+}
+
+/// Validate a parsed Chrome trace document: a JSON array of complete events
+/// (`ph: "X"`) with string `name`/`cat`, numeric non-negative `ts`/`dur`,
+/// and numeric `pid`/`tid`.
+pub fn validate_trace(v: &Value) -> Result<(), String> {
+    let events = match v {
+        Value::Array(a) => a,
+        _ => return Err("trace: root must be an array".into()),
+    };
+    for (i, e) in events.iter().enumerate() {
+        let obj = e.as_object().ok_or_else(|| format!("trace: event {i} must be an object"))?;
+        let field = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match field("name") {
+            Some(Value::String(_)) => {}
+            _ => return Err(format!("trace: event {i}: 'name' must be a string")),
+        }
+        match field("ph") {
+            Some(Value::String(ph)) if ph == "X" => {}
+            _ => return Err(format!("trace: event {i}: 'ph' must be \"X\"")),
+        }
+        for key in ["ts", "dur"] {
+            match field(key) {
+                Some(Value::Number(n)) if !n.starts_with('-') => {}
+                _ => return Err(format!("trace: event {i}: '{key}' must be a non-negative number")),
+            }
+        }
+        for key in ["pid", "tid"] {
+            match field(key) {
+                Some(Value::Number(_)) => {}
+                _ => return Err(format!("trace: event {i}: '{key}' must be a number")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse then [`validate_trace`].
+pub fn validate_trace_json(s: &str) -> Result<(), String> {
+    let v = serde_json::parse(s).map_err(|e| format!("trace: invalid JSON: {e:?}"))?;
+    validate_trace(&v)
+}
+
+fn check_unit(m: &Value) -> Result<(), String> {
+    match m.get("unit") {
+        Some(Value::String(s)) if Unit::parse(s).is_some() => Ok(()),
+        Some(Value::String(s)) => Err(format!("unknown unit '{s}'")),
+        _ => Err("'unit' must be a string".into()),
+    }
+}
+
+fn check_u64(m: &Value, key: &str) -> Result<(), String> {
+    match m.get(key) {
+        Some(Value::Number(n)) if n.parse::<u64>().is_ok() => Ok(()),
+        _ => Err(format!("'{key}' must be an unsigned integer")),
+    }
+}
+
+fn check_u64_array(m: &Value, key: &str) -> Result<usize, String> {
+    match m.get(key) {
+        Some(Value::Array(items)) => {
+            for v in items {
+                match v {
+                    Value::Number(n) if n.parse::<u64>().is_ok() => {}
+                    _ => return Err(format!("'{key}' entries must be unsigned integers")),
+                }
+            }
+            Ok(items.len())
+        }
+        _ => Err(format!("'{key}' must be an array")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HistogramSnapshot, ScalarMetric, Snapshot};
+    use crate::trace::{chrome_trace_json, TraceEvent};
+
+    #[test]
+    fn real_snapshot_json_validates() {
+        let s = Snapshot {
+            counters: vec![ScalarMetric { name: "c".into(), unit: Unit::Count, value: 3 }],
+            gauges: vec![],
+            histograms: vec![HistogramSnapshot {
+                name: "h".into(),
+                unit: Unit::Count,
+                bounds: vec![1, 2],
+                counts: vec![0, 1, 2],
+            }],
+        };
+        validate_profile_json(&s.to_json()).unwrap();
+    }
+
+    #[test]
+    fn real_trace_json_validates() {
+        let j = chrome_trace_json(&[TraceEvent { name: "step", tid: 0, ts_ns: 0, dur_ns: 10 }]);
+        validate_trace_json(&j).unwrap();
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(validate_profile_json("{}").is_err());
+        assert!(validate_profile_json("[1,2]").is_err());
+        assert!(validate_profile_json(
+            r#"{"version":1,"counters":{"c":{"unit":"furlongs","value":1}},"gauges":{},"histograms":{}}"#
+        )
+        .is_err());
+        assert!(validate_profile_json(
+            r#"{"version":1,"counters":{},"gauges":{},"histograms":{"h":{"unit":"count","bounds":[1],"counts":[1]}}}"#
+        )
+        .is_err(), "counts must have bounds+1 entries");
+        assert!(validate_trace_json("{}").is_err());
+        assert!(validate_trace_json(r#"[{"name":"x","ph":"B","ts":0,"dur":0,"pid":0,"tid":0}]"#).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Point-in-time metric snapshots and their JSON form.
+//!
+//! A [`Snapshot`] is the serializable view of a registry: every metric with
+//! its unit and value(s), sorted by name. [`Snapshot::to_json`] emits the
+//! profile format (`version`/`counters`/`gauges`/`histograms`, keys in
+//! sorted order, integers only), which round-trips losslessly through
+//! [`Snapshot::from_json`] — the property the proptest suite pins.
+
+use serde::Value;
+
+/// What a metric's integer value means. The unit decides whether a metric
+/// belongs in the *deterministic* snapshot: wall-clock durations
+/// ([`Unit::WallNs`]) vary run to run and are excluded, while simulated
+/// nanoseconds ([`Unit::Ns`], e.g. modelled backoff) are pure functions of
+/// the seed and stay in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Dimensionless event count.
+    Count,
+    /// Bytes.
+    Bytes,
+    /// Simulated (deterministic) nanoseconds.
+    Ns,
+    /// Wall-clock nanoseconds (non-deterministic; excluded from golden
+    /// snapshots).
+    WallNs,
+}
+
+impl Unit {
+    /// Stable textual tag used in the JSON snapshot.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Ns => "ns",
+            Unit::WallNs => "wall_ns",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Unit> {
+        match s {
+            "count" => Some(Unit::Count),
+            "bytes" => Some(Unit::Bytes),
+            "ns" => Some(Unit::Ns),
+            "wall_ns" => Some(Unit::WallNs),
+            _ => None,
+        }
+    }
+
+    /// Whether a metric of this unit is reproducible bit-for-bit from the
+    /// seed (and therefore belongs in golden snapshots).
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, Unit::WallNs)
+    }
+}
+
+/// One counter or gauge at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalarMetric {
+    /// Dotted metric name (`comm.bytes_sent`).
+    pub name: String,
+    /// Value semantics.
+    pub unit: Unit,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One fixed-bucket histogram at snapshot time. Bucket `i` counts samples
+/// `<= bounds[i]`; the final bucket (`counts.len() == bounds.len() + 1`)
+/// holds the overflow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Value semantics of the recorded samples.
+    pub unit: Unit,
+    /// Inclusive upper bounds of the non-overflow buckets (ascending).
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded (sum over buckets).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A registry's full state at one instant, sorted by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotone counters.
+    pub counters: Vec<ScalarMetric>,
+    /// Last-value / high-water gauges.
+    pub gauges: Vec<ScalarMetric>,
+    /// Fixed-bucket histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Drop every metric whose unit is non-deterministic (wall-clock time),
+    /// leaving the golden-comparable subset.
+    pub fn retain_deterministic(&mut self) {
+        self.counters.retain(|m| m.unit.is_deterministic());
+        self.gauges.retain(|m| m.unit.is_deterministic());
+        self.histograms.retain(|h| h.unit.is_deterministic());
+    }
+
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Sum of all counter values whose name starts with `prefix` — handy for
+    /// families like `nnet.gemm.*` or `fugaku.tni*`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|m| m.name.starts_with(prefix)).map(|m| m.value).sum()
+    }
+
+    /// The profile JSON document (compact, keys in the snapshot's sorted
+    /// order, lossless `u64` values).
+    pub fn to_json(&self) -> String {
+        let mut root: Vec<(String, Value)> = Vec::with_capacity(4);
+        root.push(("version".to_string(), num(1)));
+        let scalars = |ms: &[ScalarMetric]| {
+            Value::Object(
+                ms.iter()
+                    .map(|m| {
+                        (
+                            m.name.clone(),
+                            Value::Object(vec![
+                                ("unit".to_string(), Value::String(m.unit.as_str().to_string())),
+                                ("value".to_string(), num(m.value)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        root.push(("counters".to_string(), scalars(&self.counters)));
+        root.push(("gauges".to_string(), scalars(&self.gauges)));
+        root.push((
+            "histograms".to_string(),
+            Value::Object(
+                self.histograms
+                    .iter()
+                    .map(|h| {
+                        (
+                            h.name.clone(),
+                            Value::Object(vec![
+                                ("unit".to_string(), Value::String(h.unit.as_str().to_string())),
+                                (
+                                    "bounds".to_string(),
+                                    Value::Array(h.bounds.iter().map(|&b| num(b)).collect()),
+                                ),
+                                (
+                                    "counts".to_string(),
+                                    Value::Array(h.counts.iter().map(|&c| num(c)).collect()),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+        serde_json::to_string(&Value::Object(root)).expect("snapshot JSON never fails")
+    }
+
+    /// Parse a profile JSON document back into a snapshot.
+    pub fn from_json(s: &str) -> Result<Snapshot, String> {
+        let v = serde_json::parse(s).map_err(|e| format!("profile JSON: {e:?}"))?;
+        let obj = v.as_object().ok_or("profile root must be an object")?;
+        let section = |key: &str| -> Result<&Value, String> {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("profile missing '{key}'"))
+        };
+        let scalars = |key: &str| -> Result<Vec<ScalarMetric>, String> {
+            let fields = section(key)?
+                .as_object()
+                .ok_or_else(|| format!("'{key}' must be an object"))?;
+            fields
+                .iter()
+                .map(|(name, m)| {
+                    let unit = get_unit(m).ok_or_else(|| format!("{name}: bad unit"))?;
+                    let value = get_u64(m, "value").ok_or_else(|| format!("{name}: bad value"))?;
+                    Ok(ScalarMetric { name: name.clone(), unit, value })
+                })
+                .collect()
+        };
+        let counters = scalars("counters")?;
+        let gauges = scalars("gauges")?;
+        let histograms = section("histograms")?
+            .as_object()
+            .ok_or("'histograms' must be an object")?
+            .iter()
+            .map(|(name, h)| {
+                let unit = get_unit(h).ok_or_else(|| format!("{name}: bad unit"))?;
+                let bounds = get_u64_array(h, "bounds").ok_or_else(|| format!("{name}: bad bounds"))?;
+                let counts = get_u64_array(h, "counts").ok_or_else(|| format!("{name}: bad counts"))?;
+                Ok(HistogramSnapshot { name: name.clone(), unit, bounds, counts })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Snapshot { counters, gauges, histograms })
+    }
+}
+
+fn num(v: u64) -> Value {
+    Value::Number(v.to_string())
+}
+
+fn get_u64(obj: &Value, key: &str) -> Option<u64> {
+    match obj.get(key)? {
+        Value::Number(text) => text.parse().ok(),
+        _ => None,
+    }
+}
+
+fn get_unit(obj: &Value) -> Option<Unit> {
+    match obj.get("unit")? {
+        Value::String(s) => Unit::parse(s),
+        _ => None,
+    }
+}
+
+fn get_u64_array(obj: &Value, key: &str) -> Option<Vec<u64>> {
+    match obj.get(key)? {
+        Value::Array(items) => items
+            .iter()
+            .map(|v| match v {
+                Value::Number(text) => text.parse().ok(),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                ScalarMetric { name: "a.bytes".into(), unit: Unit::Bytes, value: 12 },
+                ScalarMetric { name: "b.wall_ns".into(), unit: Unit::WallNs, value: 999 },
+            ],
+            gauges: vec![ScalarMetric { name: "g.peak".into(), unit: Unit::Bytes, value: 7 }],
+            histograms: vec![HistogramSnapshot {
+                name: "h.rounds".into(),
+                unit: Unit::Count,
+                bounds: vec![0, 1, 2],
+                counts: vec![5, 1, 0, 2],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bit_identically() {
+        let s = sample();
+        let j = s.to_json();
+        let back = Snapshot::from_json(&j).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(j, back.to_json(), "re-serialization must be byte-identical");
+    }
+
+    #[test]
+    fn deterministic_filter_drops_wall_clock_metrics() {
+        let mut s = sample();
+        s.retain_deterministic();
+        assert_eq!(s.counter("a.bytes"), Some(12));
+        assert_eq!(s.counter("b.wall_ns"), None);
+        assert_eq!(s.histograms.len(), 1);
+    }
+
+    #[test]
+    fn unit_tags_round_trip() {
+        for u in [Unit::Count, Unit::Bytes, Unit::Ns, Unit::WallNs] {
+            assert_eq!(Unit::parse(u.as_str()), Some(u));
+        }
+        assert_eq!(Unit::parse("parsecs"), None);
+    }
+
+    #[test]
+    fn histogram_total_sums_buckets() {
+        assert_eq!(sample().histograms[0].total(), 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Always-on per-step phase storage.
+//!
+//! [`StepSeries`] is the single source of truth for per-step wall-clock
+//! phase breakdowns; `minimd`'s `StepTiming` is a *view* over the latest
+//! entry rather than a parallel mechanism. It is compiled regardless of the
+//! `capture` feature because the CLI's `--timing` table predates the
+//! observability layer and must keep working in default builds.
+
+/// Wall-clock phase breakdown of one MD step, in seconds. The force phases
+/// (`descriptor_s` … `reduction_s`) are sub-phases of `force_s` and sum to
+/// at most `force_s`; analytic potentials leave them zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepPhases {
+    /// Step index (0-based).
+    pub step: u64,
+    /// Neighbor-list rebuild time (zero on cadence-skipped steps).
+    pub neighbor_s: f64,
+    /// Total force evaluation time.
+    pub force_s: f64,
+    /// Environment-matrix construction (deep potential only).
+    pub descriptor_s: f64,
+    /// Embedding-net forward+grad (deep potential only).
+    pub embedding_s: f64,
+    /// Fitting-net energy+grad (deep potential only).
+    pub fitting_s: f64,
+    /// Deterministic fixed-order force/virial merge (deep potential only).
+    pub reduction_s: f64,
+    /// Velocity-Verlet halves plus thermostat.
+    pub integrate_s: f64,
+    /// Whole step.
+    pub total_s: f64,
+}
+
+impl StepPhases {
+    /// Sum of the deep-potential force sub-phases.
+    pub fn force_phase_sum_s(&self) -> f64 {
+        self.descriptor_s + self.embedding_s + self.fitting_s + self.reduction_s
+    }
+}
+
+/// Append-only series of per-step phase records.
+#[derive(Clone, Debug, Default)]
+pub struct StepSeries {
+    steps: Vec<StepPhases>,
+}
+
+impl StepSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one step.
+    pub fn push(&mut self, phases: StepPhases) {
+        self.steps.push(phases);
+    }
+
+    /// Most recent step, if any.
+    pub fn last(&self) -> Option<&StepPhases> {
+        self.steps.last()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterate over all recorded steps in order.
+    pub fn iter(&self) -> impl Iterator<Item = &StepPhases> {
+        self.steps.iter()
+    }
+
+    /// Element-wise sum over all steps (with `step` = number of steps).
+    pub fn totals(&self) -> StepPhases {
+        let mut t = StepPhases::default();
+        for p in &self.steps {
+            t.neighbor_s += p.neighbor_s;
+            t.force_s += p.force_s;
+            t.descriptor_s += p.descriptor_s;
+            t.embedding_s += p.embedding_s;
+            t.fitting_s += p.fitting_s;
+            t.reduction_s += p.reduction_s;
+            t.integrate_s += p.integrate_s;
+            t.total_s += p.total_s;
+        }
+        t.step = self.steps.len() as u64;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_and_totals() {
+        let mut s = StepSeries::new();
+        assert!(s.is_empty());
+        s.push(StepPhases { step: 0, force_s: 1.0, total_s: 2.0, ..Default::default() });
+        s.push(StepPhases { step: 1, force_s: 3.0, total_s: 4.0, ..Default::default() });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last().unwrap().step, 1);
+        let t = s.totals();
+        assert_eq!(t.step, 2);
+        assert_eq!(t.force_s, 4.0);
+        assert_eq!(t.total_s, 6.0);
+    }
+
+    #[test]
+    fn force_phase_sum_adds_subphases() {
+        let p = StepPhases {
+            descriptor_s: 0.1,
+            embedding_s: 0.2,
+            fitting_s: 0.3,
+            reduction_s: 0.4,
+            ..Default::default()
+        };
+        assert!((p.force_phase_sum_s() - 1.0).abs() < 1e-12);
+    }
+}

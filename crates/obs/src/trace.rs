@@ -1,0 +1,122 @@
+//! Trace events and Chrome-trace (`chrome://tracing` / Perfetto) export.
+//!
+//! Events are "complete" spans (`ph: "X"` in the trace-event format): a
+//! name, a start timestamp and a duration, all relative to the owning
+//! buffer's origin. [`chrome_trace_json`] renders a slice of events as a
+//! JSON array loadable by `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use serde::Value;
+
+/// One completed span. Timestamps are nanoseconds since the owning trace
+/// buffer's origin, so a trace file always starts near zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (static so recording never allocates).
+    pub name: &'static str,
+    /// Logical thread lane the span is drawn on.
+    pub tid: u64,
+    /// Start, ns since trace origin.
+    pub ts_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+impl TraceEvent {
+    /// End of the span, ns since trace origin.
+    pub fn end_ns(&self) -> u64 {
+        self.ts_ns + self.dur_ns
+    }
+}
+
+/// Render events in the Chrome trace-event "JSON array" format. Timestamps
+/// and durations are microseconds (the format's unit), emitted with
+/// fractional-ns precision so distinct events stay distinct.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let us = |ns: u64| -> Value {
+        // Exact decimal micros: 1234 ns -> "1.234".
+        Value::Number(format!("{}.{:03}", ns / 1_000, ns % 1_000))
+    };
+    let arr = Value::Array(
+        events
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(e.name.to_string())),
+                    ("cat".to_string(), Value::String("dpmd".to_string())),
+                    ("ph".to_string(), Value::String("X".to_string())),
+                    ("ts".to_string(), us(e.ts_ns)),
+                    ("dur".to_string(), us(e.dur_ns)),
+                    ("pid".to_string(), Value::Number("0".to_string())),
+                    ("tid".to_string(), Value::Number(e.tid.to_string())),
+                ])
+            })
+            .collect(),
+    );
+    serde_json::to_string(&arr).expect("trace JSON never fails")
+}
+
+/// Check that spans form a forest per lane: any two spans on the same `tid`
+/// are either disjoint or one contains the other (equal boundaries count as
+/// containment). Returns the first violating pair.
+pub fn validate_well_nested(events: &[TraceEvent]) -> Result<(), String> {
+    for (i, a) in events.iter().enumerate() {
+        for b in events.iter().skip(i + 1) {
+            if a.tid != b.tid {
+                continue;
+            }
+            let disjoint = a.end_ns() <= b.ts_ns || b.end_ns() <= a.ts_ns;
+            let a_in_b = b.ts_ns <= a.ts_ns && a.end_ns() <= b.end_ns();
+            let b_in_a = a.ts_ns <= b.ts_ns && b.end_ns() <= a.end_ns();
+            if !(disjoint || a_in_b || b_in_a) {
+                return Err(format!(
+                    "spans overlap without nesting: '{}' [{}, {}) vs '{}' [{}, {}) on tid {}",
+                    a.name,
+                    a.ts_ns,
+                    a.end_ns(),
+                    b.name,
+                    b.ts_ns,
+                    b.end_ns(),
+                    a.tid
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent { name, tid: 0, ts_ns: ts, dur_ns: dur }
+    }
+
+    #[test]
+    fn nested_and_disjoint_spans_validate() {
+        let events = vec![ev("step", 0, 100), ev("force", 10, 50), ev("integrate", 60, 40)];
+        assert!(validate_well_nested(&events).is_ok());
+    }
+
+    #[test]
+    fn partial_overlap_is_rejected() {
+        let events = vec![ev("a", 0, 50), ev("b", 25, 50)];
+        assert!(validate_well_nested(&events).is_err());
+    }
+
+    #[test]
+    fn different_lanes_may_overlap() {
+        let a = TraceEvent { name: "a", tid: 0, ts_ns: 0, dur_ns: 50 };
+        let b = TraceEvent { name: "b", tid: 1, ts_ns: 25, dur_ns: 50 };
+        assert!(validate_well_nested(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn chrome_json_uses_micros_and_complete_events() {
+        let j = chrome_trace_json(&[ev("force", 1_500, 2_000)]);
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\"ts\":1.500"));
+        assert!(j.contains("\"dur\":2.000"));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+}

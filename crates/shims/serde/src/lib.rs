@@ -258,6 +258,18 @@ impl_tuple! {
     (0 A, 1 B, 2 C, 3 D),
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Deserialize a missing struct field: succeeds only for types whose
 /// `from_value(Null)` succeeds (e.g. `Option`), matching serde's behaviour
 /// for `#[serde(default)]` optional fields.

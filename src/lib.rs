@@ -10,6 +10,8 @@
 //! * [`deepmd`] — the Deep Potential model (descriptor → forces, training);
 //! * [`comm`] — communication schemes (3-stage, p2p, node-based, mempool);
 //! * [`balance`] — intra-node load balancing;
+//! * [`obs`] — observability (metrics registry, span tracing, Chrome-trace
+//!   export; recording is live only with the `capture` feature);
 //! * [`scaling`] — time-to-solution model and per-figure experiments;
 //! * [`core`] — the public engine/performance API.
 //!
@@ -19,6 +21,7 @@ pub use deepmd;
 pub use dpmd_balance as balance;
 pub use dpmd_comm as comm;
 pub use dpmd_core as core;
+pub use dpmd_obs as obs;
 pub use dpmd_scaling as scaling;
 pub use fugaku;
 pub use minimd;

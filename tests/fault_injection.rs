@@ -165,3 +165,72 @@ fn recovery_survives_pool_exhaustion() {
     );
     assert_bit_identical(&clean, &faulted, "pool pressure");
 }
+
+// ---------------------------------------------------------------------------
+// Observability of the chaos suite (dpmd-obs wiring)
+// ---------------------------------------------------------------------------
+
+use dpmd_repro::obs::{MetricsRegistry, Snapshot};
+
+/// [`run`] with a metrics registry attached, returning the full snapshot
+/// alongside the trajectory state it observed.
+fn run_observed(scheme: ExchangeScheme, plan: Option<FaultPlan>) -> Snapshot {
+    let (bx, mut global) = fcc_lattice(8, 8, 8, 4.4);
+    init_velocities(&mut global, 60.0, 5);
+    let lj = LennardJones::new(0.0104, 3.4, 5.0);
+    let vv = VelocityVerlet::new(2.0 * FEMTOSECOND);
+    let decomp = Decomposition::new(bx, [2, 2, 2]);
+    let mut sim = DistributedSim::new(decomp, &global, &lj, vv, scheme, 10);
+    let reg = MetricsRegistry::new();
+    sim.attach_obs(&reg);
+    if let Some(p) = plan {
+        sim.inject_faults(p);
+    }
+    for _ in 0..STEPS {
+        sim.stride();
+    }
+    reg.snapshot()
+}
+
+/// Fault-injection runs must surface nonzero recovery counters through the
+/// metrics registry — the observability layer sees the same retries and
+/// fallback window the in-driver `FaultStats` reports.
+#[test]
+fn fault_runs_surface_nonzero_recovery_counters() {
+    if !MetricsRegistry::new().is_enabled() {
+        return;
+    }
+    let snap = run_observed(ExchangeScheme::NodeBased, Some(hostile_plan(fault_seed())));
+    let retries = snap.counter("transport.retries").unwrap_or(0);
+    assert!(retries > 0, "hostile plan must surface transport.retries > 0");
+    assert!(
+        snap.counter("transport.transmissions").unwrap_or(0)
+            > snap.counter("comm.messages_sent").unwrap_or(u64::MAX),
+        "physical transmissions must exceed logical messages under drops"
+    );
+    assert_eq!(
+        snap.counter("comm.fallback_window_steps"),
+        Some(4),
+        "stall-leader=0@3+4 must be charged as a 4-step fallback window"
+    );
+}
+
+/// Clean runs must report *exactly zero* on every fault-related counter —
+/// the chaos metrics cannot false-positive on a healthy network.
+#[test]
+fn clean_runs_report_exactly_zero_fault_counters() {
+    if !MetricsRegistry::new().is_enabled() {
+        return;
+    }
+    for scheme in [ExchangeScheme::RankP2p, ExchangeScheme::NodeBased] {
+        let snap = run_observed(scheme, None);
+        for name in ["transport.retries", "transport.pool_exhausted", "comm.fallback_window_steps"]
+        {
+            assert_eq!(snap.counter(name), Some(0), "{scheme:?}: {name} on a clean run");
+        }
+        assert!(
+            snap.counter("comm.messages_sent").unwrap_or(0) > 0,
+            "{scheme:?}: the observed run must still record traffic"
+        );
+    }
+}
