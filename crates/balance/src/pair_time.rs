@@ -72,13 +72,13 @@ impl PairTimeModel {
     ) -> Vec<f64> {
         let factors = self.node_factors(decomp, seed);
         let mut out = vec![0.0; decomp.num_ranks()];
-        for node in 0..decomp.num_nodes() {
+        for (node, &factor) in factors.iter().enumerate() {
             for &r in &decomp.node_ranks(node) {
                 let c = counts_per_rank[r];
                 let t = self.base_ns
                     + self.t_atom_ns * busiest_thread_atoms(c) as f64
                     + self.t_smooth_ns * c as f64 / THREADS_PER_RANK as f64;
-                out[r] = t * factors[node];
+                out[r] = t * factor;
             }
         }
         out
@@ -95,14 +95,14 @@ impl PairTimeModel {
     ) -> Vec<f64> {
         let factors = self.node_factors(decomp, seed);
         let mut out = vec![0.0; decomp.num_ranks()];
-        for node in 0..decomp.num_nodes() {
+        for (node, &factor) in factors.iter().enumerate() {
             let ranks = decomp.node_ranks(node);
             let total: u32 = ranks.iter().map(|&r| counts_per_rank[r]).sum();
             let t = self.base_ns
                 + self.t_atom_ns * lb_busiest_thread_atoms(total) as f64
                 + self.t_smooth_ns * total as f64 / CORES_PER_NODE as f64;
             for &r in &ranks {
-                out[r] = t * factors[node];
+                out[r] = t * factor;
             }
         }
         out

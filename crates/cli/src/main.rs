@@ -36,6 +36,8 @@ fn usage() {
     println!("usage: dpmd <experiment|list|all> [--points N] [--iters N]");
     println!("       dpmd md [--water] [--cells N] [--steps N] [--threads N] [--timing]");
     println!("               [--profile FILE] [--trace FILE]");
+    println!("       dpmd md batch --replicas N --steps S [--cells N] [--water]");
+    println!("               [--precision P] [--in-flight K] [--sequential] [--profile FILE]");
     println!("       dpmd validate-obs <profile.json> [trace.json]\n");
     println!("experiments:");
     for (name, desc) in EXPERIMENTS {
@@ -60,7 +62,83 @@ fn usage() {
     println!("  --profile F  write the deterministic metrics snapshot (JSON) to F");
     println!("  --trace F    write the per-step span tree as a Chrome trace to F");
     println!("               (load in chrome://tracing or https://ui.perfetto.dev)");
+    println!("\nmd batch: many replicas stepped through one engine with fused");
+    println!("          (batched) force evaluation; bit-identical to solo runs");
+    println!("  --replicas N   independent trajectories (default 4)");
+    println!("  --steps S      steps per replica (default 10)");
+    println!("  --in-flight K  admit at most K replicas per round (default: all)");
+    println!("  --sequential   step replicas one at a time (the baseline path)");
+    println!("  --precision P  double | fp32 (default) | fp16 — fusion needs a");
+    println!("                 mixed-precision path; double falls back to solo");
     println!("\nvalidate-obs: check --profile/--trace outputs against the schema");
+}
+
+/// `dpmd md batch`: the multi-replica batch scheduler surface.
+fn run_md_batch(args: &[String]) -> bool {
+    let replicas = parse_flag(args, "--replicas", 4);
+    let steps = parse_flag(args, "--steps", 10) as u64;
+    let cells = parse_flag(args, "--cells", 2);
+    let in_flight = parse_flag(args, "--in-flight", 0);
+    let water = args.iter().any(|a| a == "--water");
+    let sequential = args.iter().any(|a| a == "--sequential");
+    let profile_path = flag_value(args, "--profile");
+
+    let registry = dpmd_obs::MetricsRegistry::new();
+    let tracebuf = dpmd_obs::TraceBuffer::new();
+    let mut builder = Engine::builder().seed(2024);
+    if profile_path.is_some() {
+        builder = builder.observe(registry.clone(), tracebuf.clone());
+    }
+    builder = if water { builder.water_cells(cells) } else { builder.copper_cells(cells) };
+    builder = match flag_value(args, "--precision").map(String::as_str) {
+        Some("fp32") | None => builder.precision(Precision::Mix32),
+        Some("fp16") => builder.precision(Precision::Mix16),
+        Some("double") => builder.precision(Precision::Double),
+        Some(other) => {
+            eprintln!("unknown --precision '{other}' (use double | fp32 | fp16)");
+            return false;
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+            builder = builder.threads(n);
+        }
+    }
+    let ntypes = if water { 2 } else { 1 };
+    let parts =
+        builder.with_model(DeepPotModel::new(DeepPotConfig::tiny(ntypes, 6.0))).build_parts();
+    let mut sched =
+        dpmd_serve::BatchScheduler::new(parts, replicas, steps).max_in_flight(in_flight);
+
+    let t0 = std::time::Instant::now();
+    let (mode, rounds) = if sequential {
+        ("sequential", sched.run_sequential())
+    } else {
+        ("batched", sched.run())
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    let natoms: usize = sched.replicas().iter().map(|r| r.sim.atoms.nlocal).sum();
+    println!(
+        "{mode}: {replicas} replicas x {steps} steps ({natoms} atoms total) in {wall:.3} s ({rounds} rounds)",
+    );
+    for r in sched.replicas() {
+        let th = r.sim.thermo();
+        println!(
+            "replica {:>3} (seed {:>6})  pe {:>12.4}  etot {:>12.4}  T {:>8.2} K",
+            r.id, r.seed, th.pe, th.etotal, th.temperature
+        );
+    }
+    if let Some(path) = profile_path {
+        let snap = registry.snapshot_deterministic();
+        let n = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("--profile {path}: {e}");
+            return false;
+        }
+        println!("profile: wrote {n} metrics to {path}");
+    }
+    true
 }
 
 /// `dpmd validate-obs <profile.json> [trace.json]`: schema-check the files
@@ -143,6 +221,9 @@ fn run_faulted(args: &[String], spec: &str) -> bool {
 /// `dpmd md`: run functional MD, optionally printing the per-step
 /// phase-timing breakdown the threaded force pipeline records.
 fn run_md(args: &[String]) -> bool {
+    if args.get(1).map(String::as_str) == Some("batch") {
+        return run_md_batch(args);
+    }
     if let Some(spec) =
         args.iter().position(|a| a == "--faults").and_then(|i| args.get(i + 1))
     {
@@ -213,7 +294,7 @@ fn run_md(args: &[String]) -> bool {
                 ms(t.total_s),
                 100.0 * attributed / t.total_s.max(1e-12),
             );
-        } else if th.step % 10 == 0 || th.step == steps {
+        } else if th.step.is_multiple_of(10) || th.step == steps {
             println!(
                 "step {:>5}  pe {:>12.4}  etot {:>12.4}  T {:>8.2} K  P {:>10.2} bar",
                 th.step, th.pe, th.etotal, th.temperature, th.pressure

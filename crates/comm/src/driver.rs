@@ -229,7 +229,7 @@ impl<'p> DistributedSim<'p> {
         // The step being computed keys every fault decision, so a given
         // scenario replays identically run to run.
         let step = self.step + 1;
-        if self.rebuild_every > 0 && step % self.rebuild_every == 0 {
+        if self.rebuild_every > 0 && step.is_multiple_of(self.rebuild_every) {
             self.rebuild(step);
         } else {
             self.refresh_ghosts(step);

@@ -201,11 +201,11 @@ pub fn build_forward_messages(
             // Gather: node n's pooled atoms (all four ranks' locals).
             let nnodes = decomp.num_nodes();
             let mut node_atoms: Vec<Vec<GhostEntry>> = vec![Vec::new(); nnodes];
-            for n in 0..nnodes {
+            for (n, pooled) in node_atoms.iter_mut().enumerate() {
                 for r in decomp.node_ranks(n) {
                     let a = &per_rank[r];
                     for i in 0..a.nlocal {
-                        node_atoms[n].push((a.id[i], a.typ[i], a.pos[i]));
+                        pooled.push((a.id[i], a.typ[i], a.pos[i]));
                     }
                 }
             }
@@ -270,7 +270,7 @@ pub fn apply_forward_messages(
             }
             // Scatter: within each node, deliver to each rank (shared
             // memory — never faulted).
-            for n in 0..nnodes {
+            for (n, ghosts) in node_ghosts.iter().enumerate() {
                 for dst in decomp.node_ranks(n) {
                     let (lo, hi) = decomp.rank_box(dst);
                     let mut incoming: Vec<GhostEntry> = Vec::new();
@@ -288,7 +288,7 @@ pub fn apply_forward_messages(
                         }
                     }
                     // Remote ghosts (from the node exchange).
-                    for &(id, typ, p) in &node_ghosts[n] {
+                    for &(id, typ, p) in ghosts {
                         if lb_broadcast || decomp.in_ghost_region_of_rank(dst, p, rc) {
                             incoming.push((id, typ, p + ghost_shift(decomp, p, lo, hi)));
                         }

@@ -69,12 +69,13 @@ pub struct MemPool {
     used: usize,
     peak: usize,
     failed: u64,
+    clamped: u64,
 }
 
 impl MemPool {
     /// A pool of `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        MemPool { capacity, used: 0, peak: 0, failed: 0 }
+        MemPool { capacity, used: 0, peak: 0, failed: 0, clamped: 0 }
     }
 
     /// A pool that never exhausts (the no-fault configuration).
@@ -95,9 +96,21 @@ impl MemPool {
     }
 
     /// Return a claim to the pool.
+    ///
+    /// A block can only over-free if it is returned to a pool other than
+    /// its origin (reachable through [`Clone`] snapshots — `PoolBlock`
+    /// itself is move-only). The release path must not wrap: a bare
+    /// `used -= bytes` underflows in release builds, which then makes
+    /// `available()` wrap past `capacity` and silently un-bounds the
+    /// pool. Clamp at zero instead and count it in
+    /// [`MemPool::clamped_frees`] so the misuse stays observable.
     pub fn free(&mut self, block: PoolBlock) {
-        debug_assert!(block.bytes <= self.used, "freeing more than was allocated");
-        self.used -= block.bytes;
+        if block.bytes > self.used {
+            self.clamped += 1;
+            self.used = 0;
+        } else {
+            self.used -= block.bytes;
+        }
     }
 
     /// Total capacity in bytes.
@@ -123,6 +136,13 @@ impl MemPool {
     /// Allocations refused so far.
     pub fn failed_allocs(&self) -> u64 {
         self.failed
+    }
+
+    /// Frees clamped because the block exceeded the pool's outstanding
+    /// bytes (a block returned to a pool other than its origin). Always
+    /// zero under correct use.
+    pub fn clamped_frees(&self) -> u64 {
+        self.clamped
     }
 }
 
@@ -250,6 +270,57 @@ mod tests {
         pool.free(a);
         pool.free(c);
         assert_eq!(pool.used(), 0);
+    }
+
+    /// Regression: drive the pool to complete exhaustion with many odd-
+    /// sized blocks, release them all, and the *exact* capacity must come
+    /// back — no drift, no wraparound in the accounting.
+    #[test]
+    fn release_after_exhaustion_restores_exact_capacity() {
+        let mut pool = MemPool::new(257); // deliberately not a multiple of the chunk size
+        let mut blocks = Vec::new();
+        loop {
+            match pool.alloc(31) {
+                Ok(b) => blocks.push(b),
+                Err(PoolError::Exhausted { requested, available }) => {
+                    assert_eq!(requested, 31);
+                    assert_eq!(available, 257 - blocks.len() * 31);
+                    assert!(available < 31);
+                    break;
+                }
+            }
+        }
+        assert_eq!(pool.used(), blocks.len() * 31);
+        assert_eq!(pool.peak_used(), blocks.len() * 31);
+        for b in blocks {
+            pool.free(b);
+        }
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.available(), pool.capacity());
+        assert_eq!(pool.clamped_frees(), 0);
+        let all = pool.alloc(257).expect("full capacity must be claimable again");
+        assert_eq!(pool.available(), 0);
+        pool.free(all);
+        assert_eq!(pool.available(), 257);
+    }
+
+    /// Regression: freeing a block into a pool that never issued it (only
+    /// reachable through `Clone` snapshots) must clamp the accounting at
+    /// zero instead of wrapping `used` — a wrap would send `available()`
+    /// past `capacity` and silently un-bound the pool.
+    #[test]
+    fn foreign_free_clamps_instead_of_wrapping() {
+        let mut origin = MemPool::new(64);
+        let block = origin.alloc(48).unwrap();
+        let mut fresh = MemPool::new(64); // used = 0: freeing 48 would underflow
+        fresh.free(block);
+        assert_eq!(fresh.used(), 0);
+        assert_eq!(fresh.available(), 64, "available must never exceed capacity");
+        assert_eq!(fresh.clamped_frees(), 1);
+        // The clamped pool still allocates normally afterwards.
+        let b = fresh.alloc(64).unwrap();
+        fresh.free(b);
+        assert_eq!(fresh.used(), 0);
     }
 
     #[test]

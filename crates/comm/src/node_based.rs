@@ -122,6 +122,7 @@ pub fn simulate(
 /// round-robin routes around them, so the node keeps communicating on the
 /// remaining engines at reduced injection bandwidth — the timing-model half
 /// of the fault layer's `stall-tni` clause.
+#[allow(clippy::too_many_arguments)] // mirrors simulate() plus the stall clause
 pub fn simulate_with_stalled_tnis(
     machine: &MachineConfig,
     decomp: &Decomposition,
@@ -149,6 +150,7 @@ pub fn simulate_with_stalled_tnis(
 /// Simulate one phase with metric capture: per-TNI message counts (from
 /// the round-robin assignment) and simulated RDMA bytes are charged to
 /// `obs` (`fugaku.tniN.messages`, `fugaku.rdma.bytes_simulated`).
+#[allow(clippy::too_many_arguments)] // mirrors simulate() plus the metric sink
 pub fn simulate_observed(
     machine: &MachineConfig,
     decomp: &Decomposition,
@@ -175,6 +177,7 @@ fn simulate_inner(
 }
 
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // node index keys several parallel schedules
 fn simulate_faulted(
     machine: &MachineConfig,
     decomp: &Decomposition,

@@ -15,6 +15,7 @@ use crate::plan::HaloPlan;
 use crate::three_stage::CommResult;
 
 /// Simulate the p2p pattern for a concrete halo plan.
+#[allow(clippy::needless_range_loop)] // rank index keys several parallel schedules
 pub fn simulate(
     machine: &MachineConfig,
     decomp: &Decomposition,

@@ -62,6 +62,7 @@ struct NodeResources {
 ///
 /// `api` selects the message software costs (the `baseline` MPI bars vs the
 /// `3stage-utofu` bars of Fig. 7).
+#[allow(clippy::needless_range_loop)] // rank index keys several parallel schedules
 pub fn simulate(
     machine: &MachineConfig,
     decomp: &Decomposition,

@@ -150,6 +150,13 @@ impl EngineBuilder {
 
     /// Train (if needed) and assemble the engine.
     pub fn build(self) -> Engine {
+        Engine::assemble(self.build_parts())
+    }
+
+    /// Train (if needed) and return the resolved pieces without assembling a
+    /// simulation — the batch scheduler (`dpmd-serve`) uses this to stamp
+    /// out many replicas over one trained model, varying only the seed.
+    pub fn build_parts(self) -> EngineParts {
         let model: DeepPotModel = match self.model.clone() {
             Some(m) => m,
             None => {
@@ -179,7 +186,64 @@ impl EngineBuilder {
         if let Some(intervals) = self.compression {
             model.enable_compression(intervals);
         }
-        Engine::assemble(self, model)
+        EngineParts {
+            model,
+            system: self.system,
+            precision: self.precision,
+            temperature: self.temperature,
+            timestep_fs: self.timestep_fs,
+            seed: self.seed,
+            thermostat: self.thermostat,
+            threads: self.threads,
+            obs: self.obs,
+        }
+    }
+}
+
+/// The resolved output of [`EngineBuilder::build_parts`]: a trained (or
+/// supplied) model plus every setting needed to assemble simulations over
+/// it. [`Engine::assemble`] consumes one; `dpmd-serve` keeps one and builds
+/// R replica simulations from it, varying [`seed`](Self::seed) per replica.
+pub struct EngineParts {
+    /// The trained/supplied model (compression already applied).
+    pub model: DeepPotModel,
+    /// Which physical system replicas simulate.
+    pub system: SystemKind,
+    /// Inference precision.
+    pub precision: Precision,
+    /// Initial (and thermostat target) temperature, K.
+    pub temperature: f64,
+    /// Time-step, fs.
+    pub timestep_fs: f64,
+    /// Lattice/velocity seed.
+    pub seed: u64,
+    /// Berendsen NVT when true, NVE when false.
+    pub thermostat: bool,
+    /// Private-pool width, if requested.
+    pub threads: Option<usize>,
+    /// Metric/trace sinks, if observing.
+    pub obs: Option<(MetricsRegistry, TraceBuffer)>,
+}
+
+impl EngineParts {
+    /// Build the system's initial state (box, atoms, velocities) from the
+    /// current [`seed`](Self::seed).
+    pub fn initial_state(&self) -> (minimd::simbox::SimBox, minimd::atoms::Atoms) {
+        let (bx, mut atoms) = match self.system {
+            SystemKind::Copper { cells } => minimd::lattice::fcc_copper(cells, cells, cells),
+            SystemKind::Water { cells } => minimd::lattice::water_box(cells, cells, cells, self.seed),
+        };
+        init_velocities(&mut atoms, self.temperature, self.seed);
+        (bx, atoms)
+    }
+
+    /// The integrator (time-step + thermostat) these settings call for.
+    pub fn integrator(&self) -> VelocityVerlet {
+        let mut vv = VelocityVerlet::new(self.timestep_fs * FEMTOSECOND);
+        if self.thermostat {
+            vv.thermostat = Thermostat::Berendsen { t_target: self.temperature, tau_ps: 0.05 };
+        }
+        vv
     }
 }
 
@@ -197,31 +261,29 @@ impl Engine {
         EngineBuilder::default()
     }
 
-    fn assemble(b: EngineBuilder, model: DeepPotModel) -> Engine {
-        let (bx, mut atoms) = match b.system {
-            SystemKind::Copper { cells } => minimd::lattice::fcc_copper(cells, cells, cells),
-            SystemKind::Water { cells } => minimd::lattice::water_box(cells, cells, cells, b.seed),
-        };
-        init_velocities(&mut atoms, b.temperature, b.seed);
-        let mut dp = DpEngine::new(model, b.precision);
-        if let Some(n) = b.threads {
+    fn assemble(parts: EngineParts) -> Engine {
+        let (bx, atoms) = parts.initial_state();
+        let vv = parts.integrator();
+        let mut dp = DpEngine::new(parts.model, parts.precision);
+        if let Some(n) = parts.threads {
             dp = dp.with_pool(Arc::new(ThreadPool::new(n)));
         }
-        if let Some((reg, _)) = &b.obs {
+        if let Some((reg, _)) = &parts.obs {
             // Attach before the initial force evaluation in Simulation::new
             // so eval/GEMM counters cover the whole run.
             dp.attach_obs(reg);
         }
-        let mut vv = VelocityVerlet::new(b.timestep_fs * FEMTOSECOND);
-        if b.thermostat {
-            vv.thermostat = Thermostat::Berendsen { t_target: b.temperature, tau_ps: 0.05 };
-        }
         // Paper settings: skin 2 Å, rebuild every 50 steps.
         let mut sim = Simulation::new(bx, atoms, Box::new(dp), vv, 2.0, 50);
-        if let Some((reg, trace)) = &b.obs {
+        if let Some((reg, trace)) = &parts.obs {
             sim.attach_obs(reg, trace);
         }
-        Engine { sim, timestep_fs: b.timestep_fs, precision: b.precision, obs: b.obs }
+        Engine {
+            sim,
+            timestep_fs: parts.timestep_fs,
+            precision: parts.precision,
+            obs: parts.obs,
+        }
     }
 
     /// Advance `n` steps, returning the thermodynamic trace.

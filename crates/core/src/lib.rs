@@ -28,7 +28,7 @@ pub mod performance;
 
 /// Common imports for downstream users.
 pub mod prelude {
-    pub use crate::engine::{run_faulted_md, Engine, EngineBuilder, FaultedMdReport};
+    pub use crate::engine::{run_faulted_md, Engine, EngineBuilder, EngineParts, FaultedMdReport};
     pub use crate::performance::Performance;
     pub use dpmd_comm::fault::{FaultPlan, FaultStats};
     pub use dpmd_comm::functional::ExchangeScheme;
@@ -41,5 +41,5 @@ pub mod prelude {
     pub use nnet::precision::Precision;
 }
 
-pub use engine::{Engine, EngineBuilder};
+pub use engine::{Engine, EngineBuilder, EngineParts};
 pub use performance::Performance;

@@ -29,6 +29,7 @@ pub struct CompressedEmbedding {
 }
 
 /// Solve a 6×6 linear system by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // elimination indexes two rows of `a` at once
 fn solve6(mut a: [[f64; 6]; 6], mut b: [f64; 6]) -> [f64; 6] {
     for col in 0..6 {
         let piv = (col..6).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()).unwrap();

@@ -205,6 +205,7 @@ mod tests {
             EnvEntry { j: 0, typ: 0, disp: d, r, s, ds_dr }
         };
         let grads = entry_at(base).coord_grads();
+        #[allow(clippy::needless_range_loop)] // comp/axis jointly index grads and coords
         for comp in 0..4 {
             for axis in 0..3 {
                 let mut dp = base;

@@ -31,11 +31,13 @@ use nnet::stats::{GemmTally, PrecClass};
 use crate::descriptor::build_environments_on;
 use crate::model::DeepPotModel;
 
+/// One embedding layer: (w in×out, b, act, resnet, in, out).
+pub(crate) type EmbLayer32 = (Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize);
+
 /// One embedding net with weights cast to f32.
 #[derive(Clone, Debug)]
-struct Emb32 {
-    // per layer: (w in×out, b, act, resnet, in, out)
-    layers: Vec<(Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize)>,
+pub(crate) struct Emb32 {
+    pub(crate) layers: Vec<EmbLayer32>,
 }
 
 impl Emb32 {
@@ -108,16 +110,20 @@ impl Emb32 {
         }
         (val, tan)
     }
+
 }
+
+/// One fitting layer: (w in×out, wᵀ out×in, b, act, resnet, in, out).
+pub(crate) type FitLayer32 = (Vec<f32>, Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize);
 
 /// One fitting net with f32 weights (and binary16 copies of the first
 /// layer's weight matrices for the `Mix16` path).
 #[derive(Clone, Debug)]
-struct Fit32 {
-    layers: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize)>,
+pub(crate) struct Fit32 {
+    pub(crate) layers: Vec<FitLayer32>,
     // First-layer fp16 copies: weights (in×out) and transpose (out×in).
-    w16_first: Vec<F16>,
-    wt16_first: Vec<F16>,
+    pub(crate) w16_first: Vec<F16>,
+    pub(crate) wt16_first: Vec<F16>,
 }
 
 impl Fit32 {
@@ -231,20 +237,21 @@ impl Fit32 {
 }
 
 /// Per-atom intermediates of the f32 embedding pass (Mix32/Mix16 paths).
-struct AtomEmbed32 {
-    g: Vec<f32>,
-    dg_ds: Vec<f32>,
-    t: Vec<f32>,
-    coords: Vec<[f32; 4]>,
+#[derive(Default)]
+pub(crate) struct AtomEmbed32 {
+    pub(crate) g: Vec<f32>,
+    pub(crate) dg_ds: Vec<f32>,
+    pub(crate) t: Vec<f32>,
+    pub(crate) coords: Vec<[f32; 4]>,
 }
 
 /// Observability handles of an attached engine: per-precision evaluation
 /// counters plus the GEMM shape-class tally shared with `nnet`.
 #[derive(Clone, Debug)]
-struct DpObs {
+pub(crate) struct DpObs {
     /// `deepmd.eval.{fp64,fp32,fp16}.calls`, indexed by precision path.
-    evals: [Counter; 3],
-    gemm: GemmTally,
+    pub(crate) evals: [Counter; 3],
+    pub(crate) gemm: GemmTally,
 }
 
 /// A precision-parameterized inference engine over a trained model.
@@ -253,15 +260,15 @@ pub struct DpEngine {
     pub model: DeepPotModel,
     /// Active precision mode.
     pub precision: Precision,
-    emb32: Vec<Emb32>,
-    fit32: Vec<Fit32>,
+    pub(crate) emb32: Vec<Emb32>,
+    pub(crate) fit32: Vec<Fit32>,
     /// Owned pool; falls back to the process-global pool when unset.
     pool: Option<Arc<ThreadPool>>,
     /// Phase breakdown of the last evaluation (`compute` takes `&self`, so
     /// interior mutability is needed to record it).
-    last_phases: Mutex<Option<ForcePhases>>,
+    pub(crate) last_phases: Mutex<Option<ForcePhases>>,
     /// Metric handles; `None` (the default) skips all recording.
-    obs: Option<DpObs>,
+    pub(crate) obs: Option<DpObs>,
 }
 
 impl DpEngine {

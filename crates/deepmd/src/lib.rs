@@ -23,6 +23,7 @@
 //! 7. the **type-sorted environment layout** vs the baseline
 //!    slice-and-concat handling of multi-species systems ([`typesort`]).
 
+pub mod batch;
 pub mod compress;
 pub mod config;
 pub mod dataset;

@@ -178,6 +178,7 @@ impl DeepPotModel {
     /// Fitting + backward pass for one atom: energy out; force and virial
     /// contributions accumulated into `forces` / `virial`. `dt` is caller
     /// scratch of length M₁·4.
+    #[allow(clippy::too_many_arguments)] // one argument per solo-pass output sink
     fn fit_backward_atom(
         &self,
         i: usize,
@@ -416,6 +417,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i/axis jointly index positions and forces
     fn forces_match_finite_difference() {
         let model = tiny_cu_model();
         let (bx, mut atoms) =
@@ -578,8 +580,8 @@ mod tests {
         let mut forces = vec![Vec3::ZERO; atoms.len()];
         let direct = model.energy_forces(&atoms, &nl, &bx, &mut forces);
         assert_eq!(via_trait.energy, direct.energy);
-        for i in 0..atoms.nlocal {
-            assert_eq!(atoms.force[i], forces[i]);
+        for (a, b) in atoms.force.iter().zip(&forces).take(atoms.nlocal) {
+            assert_eq!(a, b);
         }
     }
 }

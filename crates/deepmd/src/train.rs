@@ -141,7 +141,7 @@ fn zero_dense_grads(nets: &[nnet::layers::Mlp]) -> Vec<Vec<DenseGrads>> {
         .collect()
 }
 
-fn add_dense_grads(acc: &mut Vec<Vec<DenseGrads>>, net: usize, grads: Vec<DenseGrads>) {
+fn add_dense_grads(acc: &mut [Vec<DenseGrads>], net: usize, grads: Vec<DenseGrads>) {
     for (a, g) in acc[net].iter_mut().zip(grads) {
         for (x, &y) in a.dw.as_mut_slice().iter_mut().zip(g.dw.as_slice()) {
             *x += y;
@@ -175,8 +175,7 @@ pub fn frame_loss_and_grads(model: &DeepPotModel, frame: &Frame) -> (f64, Vec<f6
     }
     let mut caches: Vec<AtomCache> = Vec::with_capacity(natoms);
     let mut e_pred = 0.0;
-    for i in 0..natoms {
-        let env = &envs[i];
+    for (i, env) in envs.iter().enumerate().take(natoms) {
         let ti = frame.atoms.typ[i] as usize;
         let mut per_type = Vec::with_capacity(cfg.ntypes);
         let mut t = vec![0.0; m1 * 4];
@@ -224,8 +223,7 @@ pub fn frame_loss_and_grads(model: &DeepPotModel, frame: &Frame) -> (f64, Vec<f6
     // ---- backward ----
     let mut emb_grads = zero_dense_grads(&model.embeddings.iter().map(|e| e.mlp.clone()).collect::<Vec<_>>());
     let mut fit_grads = zero_dense_grads(&model.fittings.iter().map(|f| f.mlp.clone()).collect::<Vec<_>>());
-    for i in 0..natoms {
-        let env = &envs[i];
+    for (i, env) in envs.iter().enumerate().take(natoms) {
         let ti = frame.atoms.typ[i] as usize;
         let cache = &caches[i];
         let dout = Matrix::from_vec(1, 1, vec![w]);
@@ -390,8 +388,8 @@ pub fn eval_errors(model: &DeepPotModel, frames: &[Frame]) -> (f64, f64) {
         let mut forces = vec![minimd::vec3::Vec3::ZERO; frame.atoms.len()];
         let out = model.energy_forces(&frame.atoms, &nl, &frame.bx, &mut forces);
         e_err += ((out.energy - frame.energy) / frame.atoms.nlocal as f64).abs();
-        for i in 0..frame.atoms.nlocal {
-            let d = forces[i] - frame.forces[i];
+        for (&f, &fr) in forces.iter().zip(&frame.forces).take(frame.atoms.nlocal) {
+            let d = f - fr;
             f_sq += d.norm2();
             f_count += 3;
         }

@@ -172,6 +172,7 @@ impl JobGraph {
         for _ in 0..n.max(1) {
             let mut changed = false;
             // Phase 1: ready times from current finish estimates.
+            #[allow(clippy::needless_range_loop)] // i indexes jobs, ready and finish in parallel
             for i in 0..n {
                 let r = self.jobs[i]
                     .deps

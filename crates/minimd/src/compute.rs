@@ -45,7 +45,7 @@ impl Rdf {
     /// Accumulate one configuration (O(N²) over the selected species — RDF
     /// sampling runs on modest boxes).
     pub fn sample(&mut self, atoms: &Atoms, bx: &SimBox) {
-        let sel = |t: Option<u32>, typ: u32| t.map_or(true, |x| x == typ);
+        let sel = |t: Option<u32>, typ: u32| t.is_none_or(|x| x == typ);
         let idx_a: Vec<usize> =
             (0..atoms.nlocal).filter(|&i| sel(self.type_a, atoms.typ[i])).collect();
         let idx_b: Vec<usize> =

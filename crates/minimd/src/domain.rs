@@ -378,9 +378,9 @@ mod tests {
         let d = Decomposition::new(bx, [3, 3, 3]);
         let rc_counts = d.counts_per_rank(&atoms);
         let node_counts = d.counts_per_node(&atoms);
-        for n in 0..d.num_nodes() {
+        for (n, &count) in node_counts.iter().enumerate() {
             let sum: u32 = d.node_ranks(n).iter().map(|&r| rc_counts[r]).sum();
-            assert_eq!(sum, node_counts[n], "node {n}");
+            assert_eq!(sum, count, "node {n}");
         }
     }
 

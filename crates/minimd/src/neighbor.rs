@@ -177,8 +177,7 @@ impl NeighborList {
         }
         let mut bins = vec![0u32; n];
         let mut cursor = count.clone();
-        for a in 0..n {
-            let c = cell_idx[a];
+        for (a, &c) in cell_idx.iter().enumerate() {
             bins[cursor[c]] = a as u32;
             cursor[c] += 1;
         }
@@ -295,7 +294,7 @@ mod tests {
             oracle.build_n2(&atoms, &bx);
             let mut cell = NeighborList::new(4.0, 0.5, kind);
             cell.build(&atoms, &bx);
-            assert_eq!(oracle.natoms(), 0 + atoms.nlocal);
+            assert_eq!(oracle.natoms(), atoms.nlocal);
             for i in 0..atoms.nlocal {
                 let mut a: Vec<u32> = oracle.neighbors(i).to_vec();
                 let mut b: Vec<u32> = cell.neighbors(i).to_vec();

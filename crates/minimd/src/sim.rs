@@ -16,7 +16,7 @@ use crate::atoms::Atoms;
 use crate::compute::pressure_bar;
 use crate::integrate::{current_temperature, kinetic_energy, VelocityVerlet};
 use crate::neighbor::{ListKind, NeighborList};
-use crate::potential::{ForcePhases, Potential};
+use crate::potential::{ForcePhases, Potential, PotentialOutput};
 use crate::simbox::SimBox;
 
 /// Thermodynamic snapshot after a step.
@@ -61,6 +61,15 @@ impl StepTiming {
     pub fn phase_sum_s(&self) -> f64 {
         self.neighbor_s + self.force_s + self.integrate_s
     }
+}
+
+/// Opaque token for a step whose first Verlet half-kick has run but whose
+/// force evaluation and closing kick have not. Produced by
+/// [`Simulation::begin_step`], consumed by [`Simulation::complete_step`];
+/// carries the in-progress phase record and the step's start instant.
+pub struct StepInFlight {
+    rec: StepPhases,
+    t_step: Instant,
 }
 
 /// Metric and trace handles attached by [`Simulation::attach_obs`].
@@ -207,6 +216,22 @@ impl Simulation {
 
     /// Advance one velocity-Verlet step.
     pub fn step(&mut self) -> Thermo {
+        let tok = self.begin_step();
+        self.atoms.zero_forces();
+        let t_force = Instant::now();
+        let out = self.potential.compute(&mut self.atoms, &self.nl, &self.bx);
+        let t_force_end = Instant::now();
+        let phases = self.potential.phase_times().unwrap_or_default();
+        self.complete_step(out, phases, (t_force, t_force_end), tok)
+    }
+
+    /// First half of a step: the opening Verlet kick plus the neighbour-list
+    /// cadence/drift check and rebuild. After this the caller must evaluate
+    /// forces into zeroed `atoms.force` (however it likes — the batch
+    /// scheduler fuses many replicas' evaluations here) and hand the result
+    /// to [`complete_step`](Self::complete_step). [`step`](Self::step) is
+    /// exactly `begin_step` + a solo `potential.compute` + `complete_step`.
+    pub fn begin_step(&mut self) -> StepInFlight {
         let t_step = Instant::now();
         let mut rec = StepPhases::default();
 
@@ -218,7 +243,7 @@ impl Simulation {
             o.trace.push_complete("integrate.first", t0, t1);
         }
 
-        let cadence_hit = self.rebuild_every > 0 && (self.step + 1) % self.rebuild_every == 0;
+        let cadence_hit = self.rebuild_every > 0 && (self.step + 1).is_multiple_of(self.rebuild_every);
         if cadence_hit || self.nl.needs_rebuild(&self.atoms, &self.bx) {
             let t0 = Instant::now();
             self.nl.build(&self.atoms, &self.bx);
@@ -230,15 +255,30 @@ impl Simulation {
             }
         }
 
-        let t_force = Instant::now();
-        self.recompute_forces();
-        let t_force_end = Instant::now();
+        StepInFlight { rec, t_step }
+    }
+
+    /// Second half of a step: record the externally-run force evaluation
+    /// (`out`, its sub-`phases` and wall-clock `force_span`), apply the
+    /// closing Verlet kick, and refresh the thermodynamic snapshot. The
+    /// resulting state is field-for-field identical to a solo
+    /// [`step`](Self::step) producing the same `out`.
+    pub fn complete_step(
+        &mut self,
+        out: PotentialOutput,
+        phases: ForcePhases,
+        force_span: (Instant, Instant),
+        tok: StepInFlight,
+    ) -> Thermo {
+        let StepInFlight { mut rec, t_step } = tok;
+        let (t_force, t_force_end) = force_span;
         rec.force_s = (t_force_end - t_force).as_secs_f64();
-        let phases = self.potential.phase_times().unwrap_or_default();
         rec.descriptor_s = phases.descriptor_s;
         rec.embedding_s = phases.embedding_s;
         rec.fitting_s = phases.fitting_s;
         rec.reduction_s = phases.reduction_s;
+        self.last.pe = out.energy;
+        self.last_virial = out.virial;
         if let Some(o) = &self.obs {
             o.trace.push_complete("force", t_force, t_force_end);
             // The force sub-phases are sequential barrier-separated passes;

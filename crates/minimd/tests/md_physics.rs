@@ -75,13 +75,13 @@ fn equipartition_between_kinetic_modes() {
     let mut ke = [0.0f64; 3];
     for i in 0..a.nlocal {
         let m = a.mass(i);
-        for ax in 0..3 {
-            ke[ax] += 0.5 * minimd::units::MVV_TO_ENERGY * m * a.vel[i][ax] * a.vel[i][ax];
+        for (ax, k) in ke.iter_mut().enumerate() {
+            *k += 0.5 * minimd::units::MVV_TO_ENERGY * m * a.vel[i][ax] * a.vel[i][ax];
         }
     }
     let mean = (ke[0] + ke[1] + ke[2]) / 3.0;
-    for ax in 0..3 {
-        let dev = (ke[ax] - mean).abs() / mean;
+    for (ax, &k) in ke.iter().enumerate() {
+        let dev = (k - mean).abs() / mean;
         assert!(dev < 0.25, "axis {ax}: KE share off by {dev:.2}");
     }
 }

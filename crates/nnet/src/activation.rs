@@ -58,6 +58,31 @@ impl Activation {
         }
     }
 
+    /// Fused value + derivative at an f32 input, sharing one transcendental
+    /// evaluation where the math allows (tanh and sigmoid derivatives are
+    /// functions of the activation value itself).
+    ///
+    /// **Bitwise contract:** returns exactly
+    /// `(self.apply_f32(x), self.derivative(x as f64))` — the batched
+    /// inference path relies on this to halve the transcendental count while
+    /// staying bit-identical to the solo path, and
+    /// `tests::fused_value_grad_is_bitwise_identical` enforces it.
+    #[inline]
+    pub fn value_grad_f32(self, x: f32) -> (f32, f64) {
+        match self {
+            Activation::Tanh => {
+                let t = (x as f64).tanh();
+                (t as f32, 1.0 - t * t)
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-(x as f64)).exp());
+                (s as f32, s * (1.0 - s))
+            }
+            // Gelu's derivative is not a function of its value; no sharing.
+            _ => (self.apply_f32(x), self.derivative(x as f64)),
+        }
+    }
+
     /// Apply in place over a buffer (the fused "activation kernel").
     pub fn apply_slice(self, xs: &mut [f64]) {
         for x in xs {
@@ -110,6 +135,18 @@ mod tests {
         Activation::Sigmoid.apply_slice(&mut xs);
         assert!((xs[0] - Activation::Sigmoid.apply(-1.0)).abs() < 1e-15);
         assert_eq!(xs[1], 0.5);
+    }
+
+    #[test]
+    fn fused_value_grad_is_bitwise_identical() {
+        for act in [Activation::Tanh, Activation::Sigmoid, Activation::Gelu, Activation::Linear] {
+            for i in -4000..4000 {
+                let x = i as f32 * 2.5e-3;
+                let (v, d) = act.value_grad_f32(x);
+                assert_eq!(v.to_bits(), act.apply_f32(x).to_bits(), "{act:?} value at {x}");
+                assert_eq!(d.to_bits(), act.derivative(x as f64).to_bits(), "{act:?} grad at {x}");
+            }
+        }
     }
 
     #[test]

@@ -233,8 +233,10 @@ impl DirectMlp {
             let k = if li == 0 { self.in_dim } else { self.dims[li - 1] };
             // dpre = g ⊙ act'(pre)
             let pre = &self.ws.pre[li];
-            for i in 0..m * n {
-                self.ws.dpre[i] = self.ws.grad_out[i] * self.acts[li].derivative(pre[i]);
+            for ((d, &g), &p) in
+                self.ws.dpre[..m * n].iter_mut().zip(&self.ws.grad_out[..m * n]).zip(&pre[..m * n])
+            {
+                *d = g * self.acts[li].derivative(p);
             }
             // grad_in = dpre · Wᵀ, executed as NN against weights_t (k wide).
             gemm::auto_nn_f64(
@@ -321,13 +323,8 @@ mod tests {
 
             direct.forward(x.as_slice(), 3);
             let dx = direct.backward_input(3, dout.as_slice());
-            for i in 0..3 * ind {
-                assert!(
-                    (dx[i] - dx_ref.as_slice()[i]).abs() < 1e-10,
-                    "idx {i}: {} vs {}",
-                    dx[i],
-                    dx_ref.as_slice()[i]
-                );
+            for (i, (&d, &r)) in dx.iter().zip(dx_ref.as_slice()).enumerate().take(3 * ind) {
+                assert!((d - r).abs() < 1e-10, "idx {i}: {d} vs {r}");
             }
         }
     }

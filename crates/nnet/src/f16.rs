@@ -347,6 +347,155 @@ mod tests {
         assert!(worst > 2.0f64.powi(-13), "sampling should see real rounding");
     }
 
+    /// Independent reference for the value of a *positive* f16 bit pattern,
+    /// computed straight from the IEEE 754 binary16 encoding in f64 (every
+    /// binary16 value is exact in f64). Deliberately shares no code with
+    /// `f16_bits_to_f32`.
+    fn ref_value(bits: u16) -> f64 {
+        assert_eq!(bits & 0x8000, 0);
+        let exp = ((bits >> 10) & 0x1f) as i32;
+        let mant = (bits & 0x03ff) as f64;
+        match exp {
+            0 => mant * 2.0f64.powi(-24),
+            0x1f => f64::INFINITY,
+            _ => (1.0 + mant / 1024.0) * 2.0f64.powi(exp - 15),
+        }
+    }
+
+    /// Independent reference RTNE f32 → binary16: nearest representable by
+    /// binary search over the (monotone) positive bit patterns, ties to the
+    /// even pattern. Overflow: anything at or beyond 65520 (the midpoint
+    /// between MAX = 65504 and the next power-of-two step) rounds to
+    /// infinity — at the midpoint itself because 0x7bff is odd.
+    fn ref_f32_to_f16(x: f32) -> u16 {
+        let sign = if x.is_sign_negative() { 0x8000u16 } else { 0 };
+        if x.is_nan() {
+            return 0x7e00;
+        }
+        let a = x.abs() as f64;
+        if a >= 65520.0 {
+            return sign | 0x7c00;
+        }
+        // Largest positive pattern whose value is <= a.
+        let (mut lo, mut hi) = (0u16, 0x7bffu16);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if ref_value(mid) <= a {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let nearest = if lo == 0x7bff {
+            lo
+        } else {
+            let (v0, v1) = (ref_value(lo), ref_value(lo + 1));
+            match (a - v0).partial_cmp(&(v1 - a)).unwrap() {
+                Ordering::Less => lo,
+                Ordering::Greater => lo + 1,
+                Ordering::Equal => {
+                    if lo & 1 == 0 {
+                        lo
+                    } else {
+                        lo + 1
+                    }
+                }
+            }
+        };
+        sign | nearest
+    }
+
+    /// `f16_bits_to_f32` must agree with the encoding-level reference on
+    /// every one of the 2^16 bit patterns (bitwise, so ±0 are separated).
+    #[test]
+    fn widening_matches_reference_for_all_bit_patterns() {
+        for bits in 0u16..=u16::MAX {
+            let got = f16_bits_to_f32(bits);
+            if F16(bits).is_nan() {
+                assert!(got.is_nan(), "bits {bits:#06x} must widen to NaN");
+                continue;
+            }
+            let mag = ref_value(bits & 0x7fff) as f32;
+            let want = if bits & 0x8000 != 0 { -mag } else { mag };
+            assert_eq!(got.to_bits(), want.to_bits(), "bits {bits:#06x}");
+        }
+    }
+
+    /// `f32_to_f16_bits` must agree with the reference at every rounding
+    /// boundary: for each pair of adjacent finite f16 values, probe both
+    /// endpoints, the exact midpoint (representable in f32: binary16 has 11
+    /// significand bits, so midpoints need 12 of f32's 24) and one f32 ulp
+    /// to either side of it — the inputs where a rounding bug would show.
+    #[test]
+    fn narrowing_matches_reference_at_all_rounding_boundaries() {
+        for b in 0u16..0x7bff {
+            let v0 = ref_value(b) as f32;
+            let v1 = ref_value(b + 1) as f32;
+            let mid = ((ref_value(b) + ref_value(b + 1)) * 0.5) as f32;
+            let above = f32::from_bits(mid.to_bits() + 1);
+            let below = if mid == 0.0 { -above } else { f32::from_bits(mid.to_bits() - 1) };
+            for p in [v0, v1, mid, above, below] {
+                assert_eq!(
+                    f32_to_f16_bits(p),
+                    ref_f32_to_f16(p),
+                    "boundary pair {b:#06x}/{:#06x}, probe {p:e}",
+                    b + 1
+                );
+                assert_eq!(
+                    f32_to_f16_bits(-p),
+                    ref_f32_to_f16(-p),
+                    "boundary pair {b:#06x}/{:#06x}, probe {:e}",
+                    b + 1,
+                    -p
+                );
+            }
+        }
+    }
+
+    /// Boundary probes the pair sweep cannot reach: the overflow midpoint,
+    /// the subnormal flush threshold, and the special values — plus a
+    /// deterministic pseudorandom sweep across the full f32 range.
+    #[test]
+    fn narrowing_matches_reference_on_specials_and_random_sweep() {
+        let probes = [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            65504.0,                          // F16::MAX
+            65519.996,                        // just below the overflow midpoint
+            65520.0,                          // midpoint: ties-to-even -> infinity
+            65536.0,
+            f32::MAX,
+            2.0f32.powi(-14),                 // smallest normal
+            2.0f32.powi(-24),                 // smallest subnormal
+            2.0f32.powi(-25),                 // tie between 0 and 2^-24 -> even -> 0
+            f32::from_bits(0x3300_0000 + 1),  // one ulp above 2^-25
+            2.0f32.powi(-26),                 // below half the smallest subnormal
+            f32::MIN_POSITIVE,                // f32 normal floor, far under f16 range
+        ];
+        for p in probes {
+            for x in [p, -p] {
+                assert_eq!(f32_to_f16_bits(x), ref_f32_to_f16(x), "probe {x:e}");
+            }
+        }
+        assert_eq!(f32_to_f16_bits(f32::NAN) & 0x7c00, 0x7c00);
+        assert_ne!(f32_to_f16_bits(f32::NAN) & 0x03ff, 0);
+
+        // xorshift32 over raw f32 bit patterns; skip NaNs (payload freedom).
+        let mut state = 0x9e37_79b9u32;
+        for _ in 0..200_000 {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            let x = f32::from_bits(state);
+            if x.is_nan() {
+                continue;
+            }
+            assert_eq!(f32_to_f16_bits(x), ref_f32_to_f16(x), "random {x:e} ({state:#010x})");
+        }
+    }
+
     #[test]
     fn every_f16_round_trips_through_f32_exactly() {
         for bits in 0u16..=u16::MAX {

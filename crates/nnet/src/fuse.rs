@@ -58,8 +58,8 @@ pub fn optimize(graph: &Graph, fetches: &[NodeId]) -> Optimized {
 
     // --- consumer counts among live nodes (fusion safety) ---
     let mut consumers = vec![0usize; n];
-    for i in 0..n {
-        if !live[i] {
+    for (i, &alive) in live.iter().enumerate() {
+        if !alive {
             continue;
         }
         for dep in graph.operands(NodeId(i)) {
@@ -76,8 +76,8 @@ pub fn optimize(graph: &Graph, fetches: &[NodeId]) -> Optimized {
     let remap = |map: &HashMap<usize, NodeId>, id: &NodeId| -> NodeId {
         *map.get(&id.0).expect("operand must already be mapped (topological order)")
     };
-    for i in 0..n {
-        if !live[i] {
+    for (i, &alive) in live.iter().enumerate() {
+        if !alive {
             continue;
         }
         // Constant folding: any non-Param op whose operands have already
@@ -181,8 +181,8 @@ fn strip_dead(graph: &Graph, fetches: &[NodeId]) -> (Graph, Vec<NodeId>) {
     }
     let mut out = Graph::new();
     let mut map: HashMap<usize, NodeId> = HashMap::new();
-    for i in 0..n {
-        if !live[i] {
+    for (i, &alive) in live.iter().enumerate() {
+        if !alive {
             continue;
         }
         let op = graph.op(i).clone_remapped(&|id| map[&id.0]);

@@ -12,11 +12,16 @@
 const KC: usize = 256;
 /// Block edge for the n dimension.
 const NC: usize = 512;
+/// Microkernel row count: each streamed row of `B` feeds `MR` rows of `C`,
+/// cutting `B` traffic `MR`-fold versus the row-at-a-time loop. This is what
+/// makes a tall stacked (batched) GEMM beat per-row GEMV calls: the solo
+/// path re-streams `B` once per row, the microkernel once per `MR` rows.
+const MR: usize = 4;
 
 macro_rules! blocked_nn {
     ($name:ident, $t:ty) => {
         /// `C = A·B` with `A: m×k`, `B: k×n`, `C: m×n`, row-major, blocked
-        /// over (k, n) with an i-k-j inner order.
+        /// over (k, n) with an i-k-j inner order and an `MR`-row microkernel.
         ///
         /// # Output contract
         /// `C[..m*n]` is **overwritten**: whatever the buffer held on entry is
@@ -26,18 +31,61 @@ macro_rules! blocked_nn {
         /// buffer without clearing it first. `β ≠ 0` (BLAS-style `C += A·B`)
         /// is deliberately not offered.
         ///
+        /// Every output element still accumulates in globally ascending `p`
+        /// order with one rounding per add (the microkernel's local
+        /// accumulators are exact copies in and out), so results are bitwise
+        /// identical to the naive kernel at every shape — see the
+        /// kernel-invariance tests in [`crate::gemm`].
+        ///
         /// # Panics
         /// If any slice is shorter than its shape requires.
         pub fn $name(m: usize, n: usize, k: usize, a: &[$t], b: &[$t], c: &mut [$t]) {
             assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
             c[..m * n].fill(0.0);
+            let mut acc = [[0.0 as $t; NC]; MR];
             let mut p0 = 0;
             while p0 < k {
                 let pb = KC.min(k - p0);
                 let mut j0 = 0;
                 while j0 < n {
                     let jb = NC.min(n - j0);
-                    for i in 0..m {
+                    let mut i = 0;
+                    while i + MR <= m {
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            accr[..jb]
+                                .copy_from_slice(&c[(i + r) * n + j0..(i + r) * n + j0 + jb]);
+                        }
+                        {
+                            let [a0, a1, a2, a3] = &mut acc;
+                            let (a0, a1) = (&mut a0[..jb], &mut a1[..jb]);
+                            let (a2, a3) = (&mut a2[..jb], &mut a3[..jb]);
+                            for dp in 0..pb {
+                                let brow = &b[(p0 + dp) * n + j0..(p0 + dp) * n + j0 + jb];
+                                let v0 = a[i * k + p0 + dp];
+                                let v1 = a[(i + 1) * k + p0 + dp];
+                                let v2 = a[(i + 2) * k + p0 + dp];
+                                let v3 = a[(i + 3) * k + p0 + dp];
+                                for (&bv, (((c0, c1), c2), c3)) in brow.iter().zip(
+                                    a0.iter_mut()
+                                        .zip(a1.iter_mut())
+                                        .zip(a2.iter_mut())
+                                        .zip(a3.iter_mut()),
+                                ) {
+                                    *c0 += v0 * bv;
+                                    *c1 += v1 * bv;
+                                    *c2 += v2 * bv;
+                                    *c3 += v3 * bv;
+                                }
+                            }
+                        }
+                        for (r, accr) in acc.iter().enumerate() {
+                            c[(i + r) * n + j0..(i + r) * n + j0 + jb]
+                                .copy_from_slice(&accr[..jb]);
+                        }
+                        i += MR;
+                    }
+                    // Remainder rows (m % MR), row at a time.
+                    while i < m {
                         let arow = &a[i * k + p0..i * k + p0 + pb];
                         let crow = &mut c[i * n + j0..i * n + j0 + jb];
                         for (dp, &av) in arow.iter().enumerate() {
@@ -46,6 +94,7 @@ macro_rules! blocked_nn {
                                 *cv += av * bv;
                             }
                         }
+                        i += 1;
                     }
                     j0 += jb;
                 }

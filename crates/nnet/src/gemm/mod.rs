@@ -69,6 +69,67 @@ pub fn auto_nn_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batched entry points.
+//
+// A batch of `batch` independent `m×k · k×n` calls sharing the same `B` is
+// computed as one `(batch·m)×k · k×n` call, with the per-call `A` and `C`
+// panels stacked contiguously along the M dimension.
+//
+// Bitwise guarantee: every NN kernel in this module (naive, blocked, sve)
+// accumulates each output element `c[i][j]` by walking `p = 0..k` in
+// ascending order with exactly one rounding per add — Rust emits no FMA
+// contraction or reassociation by default. A row of the output therefore
+// depends only on (that row of `A`, `B`, `n`, `k`) and never on `m` or the
+// kernel chosen, so stacking rows is bitwise-invisible: the batched result
+// equals the concatenation of the per-call results bit for bit, at any batch
+// size and under either dispatch outcome. `tests::stacked_rows_are_bitwise_
+// kernel_invariant` enforces this property.
+
+/// Batched `C = A·B` in f64: `batch` stacked calls of shape `m×n×k` sharing
+/// `B`, dispatched as one `(batch·m)×n×k` GEMM. Bitwise equal to calling
+/// [`auto_nn_f64`] per slice (see module notes). Returns the kernel used.
+pub fn batched_nn_f64(
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_stacked: &[f64],
+    b: &[f64],
+    c_stacked: &mut [f64],
+) -> KernelKind {
+    auto_nn_f64(batch * m, n, k, a_stacked, b, c_stacked)
+}
+
+/// Batched `C = A·B` in f32; see [`batched_nn_f64`].
+pub fn batched_nn_f32(
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_stacked: &[f32],
+    b: &[f32],
+    c_stacked: &mut [f32],
+) -> KernelKind {
+    auto_nn_f32(batch * m, n, k, a_stacked, b, c_stacked)
+}
+
+/// Batched fp16-storage / fp32-accumulate `C = A·B`: `batch` stacked calls of
+/// shape `m×n×k` sharing `B`. There is no blocked f16 kernel, so this always
+/// runs the sve-gemm form; the same row-independence argument applies.
+pub fn batched_nn_f16(
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_stacked: &[crate::f16::F16],
+    b: &[crate::f16::F16],
+    c_stacked: &mut [f32],
+) -> KernelKind {
+    simd::gemm_nn_f16(batch * m, n, k, a_stacked, b, c_stacked);
+    KernelKind::Sve
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +224,76 @@ mod tests {
     #[test]
     fn flops_counts() {
         assert_eq!(flops(2, 240, 240), 2 * 2 * 240 * 240);
+    }
+
+    /// The batched entry points are only correct because every NN kernel
+    /// produces bit-identical output rows regardless of M and of which kernel
+    /// family runs. Enforce that exactly (==, not tolerance).
+    #[test]
+    fn stacked_rows_are_bitwise_kernel_invariant() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for &(m, n, k) in &[(1, 8, 16), (3, 240, 240), (5, 7, 9), (17, 33, 12)] {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_blk = vec![0.0; m * n];
+            let mut c_sve = vec![0.0; m * n];
+            naive::gemm_nn_f64(m, n, k, &a, &b, &mut c_ref);
+            blocked::gemm_nn_f64(m, n, k, &a, &b, &mut c_blk);
+            simd::gemm_nn_f64(m, n, k, &a, &b, &mut c_sve);
+            assert_eq!(c_ref, c_blk, "blocked f64 {m}x{n}x{k} not bitwise");
+            assert_eq!(c_ref, c_sve, "sve f64 {m}x{n}x{k} not bitwise");
+
+            let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+            let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+            let mut c32_ref = vec![0.0f32; m * n];
+            let mut c32_blk = vec![0.0f32; m * n];
+            let mut c32_sve = vec![0.0f32; m * n];
+            naive::gemm_nn_f32(m, n, k, &a32, &b32, &mut c32_ref);
+            blocked::gemm_nn_f32(m, n, k, &a32, &b32, &mut c32_blk);
+            simd::gemm_nn_f32(m, n, k, &a32, &b32, &mut c32_sve);
+            assert_eq!(c32_ref, c32_blk, "blocked f32 {m}x{n}x{k} not bitwise");
+            assert_eq!(c32_ref, c32_sve, "sve f32 {m}x{n}x{k} not bitwise");
+        }
+    }
+
+    /// Batched == concatenation of per-call auto results, bit for bit, across
+    /// batch sizes that land on both sides of the dispatch threshold.
+    #[test]
+    fn batched_equals_per_call_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, n, k) in &[(1, 16, 8), (2, 25, 10), (3, 240, 240)] {
+            for &batch in &[1usize, 2, 3, 8] {
+                let b = rand_vec(&mut rng, k * n);
+                let a_stacked = rand_vec(&mut rng, batch * m * k);
+                let mut c_batched = vec![0.0; batch * m * n];
+                batched_nn_f64(batch, m, n, k, &a_stacked, &b, &mut c_batched);
+                let mut c_solo = vec![0.0; batch * m * n];
+                for s in 0..batch {
+                    auto_nn_f64(m, n, k, &a_stacked[s * m * k..(s + 1) * m * k], &b, &mut c_solo[s * m * n..(s + 1) * m * n]);
+                }
+                assert_eq!(c_batched, c_solo, "f64 batch={batch} {m}x{n}x{k}");
+
+                let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+                let a32: Vec<f32> = a_stacked.iter().map(|&x| x as f32).collect();
+                let mut c32_batched = vec![0.0f32; batch * m * n];
+                batched_nn_f32(batch, m, n, k, &a32, &b32, &mut c32_batched);
+                let mut c32_solo = vec![0.0f32; batch * m * n];
+                for s in 0..batch {
+                    auto_nn_f32(m, n, k, &a32[s * m * k..(s + 1) * m * k], &b32, &mut c32_solo[s * m * n..(s + 1) * m * n]);
+                }
+                assert_eq!(c32_batched, c32_solo, "f32 batch={batch} {m}x{n}x{k}");
+
+                let a16: Vec<F16> = a32.iter().map(|&x| F16::from_f32(x)).collect();
+                let b16: Vec<F16> = b32.iter().map(|&x| F16::from_f32(x)).collect();
+                let mut c16_batched = vec![0.0f32; batch * m * n];
+                batched_nn_f16(batch, m, n, k, &a16, &b16, &mut c16_batched);
+                let mut c16_solo = vec![0.0f32; batch * m * n];
+                for s in 0..batch {
+                    simd::gemm_nn_f16(m, n, k, &a16[s * m * k..(s + 1) * m * k], &b16, &mut c16_solo[s * m * n..(s + 1) * m * n]);
+                }
+                assert_eq!(c16_batched, c16_solo, "f16 batch={batch} {m}x{n}x{k}");
+            }
+        }
     }
 }

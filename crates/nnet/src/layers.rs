@@ -363,6 +363,6 @@ mod tests {
     fn param_count_adds_up() {
         let mut rng = StdRng::seed_from_u64(47);
         let mlp = tiny_mlp(&mut rng);
-        assert_eq!(mlp.param_count(), (3 * 6 + 6) + (6 * 6 + 6) + (6 * 1 + 1));
+        assert_eq!(mlp.param_count(), (3 * 6 + 6) + (6 * 6 + 6) + (6 + 1));
     }
 }

@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn quantize_is_identity_for_double() {
-        let x = 0.1234567890123456789;
+        let x = 0.123_456_789_012_345_68;
         assert_eq!(quantize(Precision::Double, x), x);
         assert_ne!(quantize(Precision::Mix32, x), x);
         assert_ne!(quantize(Precision::Mix16, x), x);

@@ -96,8 +96,7 @@ pub fn nic_cache_sweep() -> Vec<(usize, Option<usize>)> {
     [16usize, 32, 64, 88, 128, 256]
         .into_iter()
         .map(|entries| {
-            let mut m = MachineConfig::default();
-            m.nic_cache_entries = entries;
+            let m = MachineConfig { nic_cache_entries: entries, ..Default::default() };
             let pts = super::fig8::run(&m, 200);
             (entries, super::fig8::knee(&pts))
         })

@@ -62,8 +62,8 @@ pub fn errors_at(model: &DeepPotModel, precision: Precision, frames: &[Frame]) -
         let mut forces = vec![Vec3::ZERO; frame.atoms.len()];
         let out = engine.energy_forces(&frame.atoms, &nl, &frame.bx, &mut forces);
         e_err += ((out.energy - frame.energy) / frame.atoms.nlocal as f64).abs();
-        for i in 0..frame.atoms.nlocal {
-            f_sq += (forces[i] - frame.forces[i]).norm2();
+        for (&f, &fr) in forces.iter().zip(&frame.forces).take(frame.atoms.nlocal) {
+            f_sq += (f - fr).norm2();
             f_n += 3;
         }
     }

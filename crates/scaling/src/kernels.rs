@@ -221,24 +221,21 @@ impl KernelModel {
 
         let mut gemm_rate = peak * base_gemm_eff;
         let mut other_rate = peak * self.eff_other;
-        let gemm_time;
-        match level {
+        let gemm_time = match level {
             OptLevel::Baseline => {
                 // fp64, BLAS, NT backward, graph redundancy + allocs.
                 let fwd = 0.5 * gemm_flops / gemm_rate;
                 let bwd = 0.5 * gemm_flops / (gemm_rate / self.nt_penalty);
-                gemm_time = (fwd + bwd) * self.tf_redundancy * self.tf_alloc;
+                let gemm_time = (fwd + bwd) * self.tf_redundancy * self.tf_alloc;
                 let mut other_time = other_flops / other_rate * self.tf_redundancy * self.tf_alloc;
                 other_time *= 1.0 + self.multitype_slice_factor * (ntypes as f64 - 1.0);
                 return gemm_time + other_time;
             }
-            OptLevel::RmtfF64 => {
-                gemm_time = gemm_flops / gemm_rate;
-            }
+            OptLevel::RmtfF64 => gemm_flops / gemm_rate,
             OptLevel::BlasF32 => {
                 gemm_rate *= self.fp32_gemm_rate;
                 other_rate *= self.fp32_other_rate;
-                gemm_time = gemm_flops / gemm_rate;
+                gemm_flops / gemm_rate
             }
             OptLevel::SveF32 | OptLevel::CommNolb | OptLevel::CommLb | OptLevel::SveF16 => {
                 gemm_rate *= self.fp32_gemm_rate;
@@ -250,9 +247,9 @@ impl KernelModel {
                     // fp16 fitting GEMMs (sve-fp16 and both comm_* levels).
                     gemm_rate *= self.fp16_gemm_rate;
                 }
-                gemm_time = gemm_flops / gemm_rate;
+                gemm_flops / gemm_rate
             }
-        }
+        };
         gemm_time + other_flops / other_rate
     }
 

@@ -28,16 +28,12 @@ pub struct Sample {
 }
 
 /// The benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     filters: Vec<String>,
     results: Vec<Sample>,
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { filters: Vec::new(), results: Vec::new() }
-    }
-}
 
 impl Criterion {
     /// Build from command-line arguments (non-flag args are name filters).

@@ -318,6 +318,10 @@ macro_rules! __proptest_impl {
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr $(,)?) => {
+        // The negation is structural (the macro can't rewrite `$cond` into
+        // its complement), so silence the partial-ord style lint at the
+        // expansion site.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
                 "assertion failed: {}",
@@ -326,6 +330,7 @@ macro_rules! prop_assert {
         }
     };
     ($cond:expr, $($fmt:tt)+) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !($cond) {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
                 "assertion failed: {}: {}",

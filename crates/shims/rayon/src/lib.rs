@@ -64,7 +64,7 @@ pub mod prelude {
             ID: Fn() -> R,
             OP: Fn(R, R) -> R,
         {
-            self.items.iter().map(&mut self.f).fold(identity(), |a, b| op(a, b))
+            self.items.iter().map(&mut self.f).fold(identity(), op)
         }
 
         /// Collect mapped values in order.

@@ -50,8 +50,8 @@ fn deep_potential_forces_are_identical_distributed_and_global() {
     let mut ref_forces = vec![Vec3::ZERO; global.len()];
     let ref_out = model.energy_forces(&global, &nl, &bx, &mut ref_forces);
     let mut by_id: HashMap<u64, Vec3> = HashMap::new();
-    for i in 0..global.nlocal {
-        by_id.insert(global.id[i], ref_forces[i]);
+    for (&id, &f) in global.id.iter().zip(&ref_forces).take(global.nlocal) {
+        by_id.insert(id, f);
     }
     let _ = &mut global;
 
@@ -98,8 +98,8 @@ fn lb_broadcast_layout_preserves_forces_too() {
     let mut ref_forces = vec![Vec3::ZERO; global.len()];
     model.energy_forces(&global, &nl, &bx, &mut ref_forces);
     let mut by_id: HashMap<u64, Vec3> = HashMap::new();
-    for i in 0..global.nlocal {
-        by_id.insert(global.id[i], ref_forces[i]);
+    for (&id, &f) in global.id.iter().zip(&ref_forces).take(global.nlocal) {
+        by_id.insert(id, f);
     }
 
     // The Fig. 5(b) layout: every rank holds the whole node-box.
