@@ -1,0 +1,128 @@
+//! Analyzer configuration: wall-clock allowlist, hot-path manifest, and
+//! blessed reduction helpers.
+//!
+//! The committed workspace config lives in `analyze-config.json` at the
+//! repository root; tests build `Config` values directly. Registering a new
+//! hot-path function is one manifest entry — see DESIGN.md ("Registering a
+//! new hot-path function").
+
+use serde::Value;
+
+/// One hot-path registration: a function that must not allocate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotPath {
+    /// Path suffix the file must end with (e.g. `crates/serve/src/lib.rs`).
+    pub path_suffix: String,
+    /// Function name (unqualified).
+    pub fn_name: String,
+}
+
+/// Rule configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Path prefixes where wall-clock reads are legitimate (D4).
+    pub wallclock_allow: Vec<String>,
+    /// Functions registered as allocation-free hot paths (D5).
+    pub hotpaths: Vec<HotPath>,
+    /// Function names allowed to accumulate floats across chunks (D2) —
+    /// the blessed chunk-ordered reduction helpers.
+    pub blessed_reductions: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            wallclock_allow: vec![
+                // The observability crate owns wall time (Unit::WallNs,
+                // span traces) and the bench harness measures it.
+                "crates/obs/".to_string(),
+                "crates/bench/".to_string(),
+                "crates/shims/criterion/".to_string(),
+            ],
+            hotpaths: Vec::new(),
+            blessed_reductions: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parse the committed JSON config. Unknown fields are ignored so the
+    /// format can grow; missing fields keep their defaults.
+    pub fn from_json(text: &str) -> Result<Config, String> {
+        let v = serde_json::parse(text).map_err(|e| format!("config parse: {e}"))?;
+        let mut cfg = Config::default();
+        if let Some(arr) = v.get("wallclock_allow").and_then(as_array) {
+            cfg.wallclock_allow =
+                arr.iter().filter_map(as_string).map(str::to_string).collect();
+        }
+        if let Some(arr) = v.get("blessed_reductions").and_then(as_array) {
+            cfg.blessed_reductions =
+                arr.iter().filter_map(as_string).map(str::to_string).collect();
+        }
+        if let Some(arr) = v.get("hotpaths").and_then(as_array) {
+            let mut hp = Vec::new();
+            for item in arr {
+                let file = item.get("file").and_then(as_string);
+                let func = item.get("fn").and_then(as_string);
+                match (file, func) {
+                    (Some(f), Some(n)) => {
+                        hp.push(HotPath { path_suffix: f.to_string(), fn_name: n.to_string() })
+                    }
+                    _ => return Err("hotpaths entries need {\"file\":…,\"fn\":…}".to_string()),
+                }
+            }
+            cfg.hotpaths = hp;
+        }
+        Ok(cfg)
+    }
+
+    /// Is `path` allowlisted for wall-clock reads?
+    pub fn wallclock_allowed(&self, path: &str) -> bool {
+        self.wallclock_allow.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Hot-path entries registered for `path`.
+    pub fn hotpaths_for<'a>(&'a self, path: &str) -> Vec<&'a HotPath> {
+        self.hotpaths.iter().filter(|h| path.ends_with(h.path_suffix.as_str())).collect()
+    }
+}
+
+fn as_array(v: &Value) -> Option<&[Value]> {
+    match v {
+        Value::Array(items) => Some(items),
+        _ => None,
+    }
+}
+
+fn as_string(v: &Value) -> Option<&str> {
+    match v {
+        Value::String(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_committed_shape() {
+        let cfg = Config::from_json(
+            r#"{
+                "wallclock_allow": ["crates/obs/", "crates/bench/"],
+                "hotpaths": [{"file": "crates/serve/src/lib.rs", "fn": "run"}],
+                "blessed_reductions": ["merge_chunks"]
+            }"#,
+        )
+        .unwrap();
+        assert!(cfg.wallclock_allowed("crates/obs/src/capture.rs"));
+        assert!(!cfg.wallclock_allowed("crates/minimd/src/sim.rs"));
+        assert_eq!(cfg.hotpaths_for("crates/serve/src/lib.rs").len(), 1);
+        assert_eq!(cfg.blessed_reductions, vec!["merge_chunks".to_string()]);
+    }
+
+    #[test]
+    fn rejects_malformed_hotpaths() {
+        assert!(Config::from_json(r#"{"hotpaths": [{"file": "x"}]}"#).is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! A self-contained Rust lexer — exactly the subset the rules need.
+//!
+//! The analyzer cannot lean on `syn`/`proc-macro2` (offline build, shim-free
+//! by design), so this module tokenizes Rust source directly. It must get
+//! the hard cases right, because a mis-lexed string or comment silently
+//! hides (or fabricates) findings:
+//!
+//! * nested block comments `/* /* */ */` (Rust nests them; C does not),
+//! * raw strings `r#"…"#` with any number of `#`s, byte strings, and
+//!   cooked strings with escapes — an `unsafe` *inside a string* is data,
+//! * lifetimes `'a` vs char literals `'x'` (including `'\''` and `'\u{…}'`),
+//! * float vs integer literals (`1.5`, `1e-3`, `1.` are floats; `0..10`
+//!   contains two integers), needed by the float-accumulation rules.
+//!
+//! Comments are not tokens: they land in a side table with line spans, so
+//! the `// SAFETY:` and `// dpmd-allow RULE:` rules can query them by line.
+
+/// Token kind. Keywords are `Ident`s; the parser matches on text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Lifetime (`'a`, `'static`, `'_`) — the tick plus the name.
+    Lifetime(String),
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// Any string literal: cooked, raw, byte, raw-byte.
+    StrLit,
+    /// Numeric literal; `float` distinguishes `1.5`/`1e3`/`2f64` from `17`.
+    Num { float: bool },
+    /// A single punctuation character (compound operators arrive as
+    /// adjacent tokens; adjacency is checkable via `col`).
+    Punct(char),
+}
+
+/// One token with its 1-based line and byte column.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an `Ident`.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Tok::Punct(c)
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, Tok::Ident(t) if t == s)
+    }
+}
+
+/// A comment with its line span (block comments may span many lines).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side table.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Never panics on malformed input: unterminated constructs
+/// consume to end-of-file, which is the robust behaviour for a linter.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { b: src.as_bytes(), pos: 0, line: 1, col: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> u8 {
+        self.b.get(self.pos + off).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Tok, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.b.len() {
+            let (line, col) = (self.line, self.col);
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'"' => {
+                    self.cooked_string();
+                    self.push(Tok::StrLit, line, col);
+                }
+                b'\'' => self.tick(line, col),
+                c if is_ident_start(c) => {
+                    let id = self.ident_text();
+                    self.push(Tok::Ident(id), line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    let float = self.number();
+                    self.push(Tok::Num { float }, line, col);
+                }
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c as char), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn ident_text(&mut self) -> String {
+        let start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.b[start..self.pos]).into_owned()
+    }
+
+    fn line_comment(&mut self) {
+        let (start_line, start) = (self.line, self.pos);
+        while self.pos < self.b.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.b[start..self.pos]).into_owned(),
+            start_line,
+            end_line: start_line,
+        });
+    }
+
+    /// Nested block comment: `/* … /* … */ … */` closes only when the
+    /// nesting depth returns to zero.
+    fn block_comment(&mut self) {
+        let (start_line, start) = (self.line, self.pos);
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1u32;
+        while self.pos < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.b[start..self.pos]).into_owned(),
+            start_line,
+            end_line: self.line,
+        });
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` at the current
+    /// position. Returns true if a literal was consumed (and pushed); false
+    /// means the `r`/`b` starts a plain identifier and nothing was consumed.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let (line, col) = (self.line, self.col);
+        let c0 = self.peek(0);
+        // b'x' byte char.
+        if c0 == b'b' && self.peek(1) == b'\'' {
+            self.bump(); // b
+            self.bump(); // '
+            self.char_body();
+            self.push(Tok::CharLit, line, col);
+            return true;
+        }
+        // b"…" byte string.
+        if c0 == b'b' && self.peek(1) == b'"' {
+            self.bump();
+            self.cooked_string();
+            self.push(Tok::StrLit, line, col);
+            return true;
+        }
+        // r"…" / r#"…"# / br#"…"# raw (byte) strings.
+        let mut off = 1usize;
+        if c0 == b'b' {
+            if self.peek(1) != b'r' {
+                return false;
+            }
+            off = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(off + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(off + hashes) != b'"' {
+            return false; // identifier like `r` / `raw` / `br#…` never valid
+        }
+        for _ in 0..off + hashes + 1 {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hashes. No escapes in raw strings.
+        'scan: while self.pos < self.b.len() {
+            if self.bump() == b'"' {
+                for h in 0..hashes {
+                    if self.peek(h) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::StrLit, line, col);
+        true
+    }
+
+    /// Cooked string, starting at the opening quote.
+    fn cooked_string(&mut self) {
+        self.bump(); // `"`
+        while self.pos < self.b.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// A `'`: lifetime or char literal. Rust's own rule: `'` followed by an
+    /// identifier is a lifetime *unless* the identifier is followed by
+    /// another `'` (then it is a char literal like `'a'`).
+    fn tick(&mut self, line: u32, col: u32) {
+        self.bump(); // `'`
+        let c = self.peek(0);
+        if c == b'\\' {
+            self.char_body();
+            self.push(Tok::CharLit, line, col);
+            return;
+        }
+        if is_ident_start(c) {
+            let mut end = 1usize;
+            while is_ident_continue(self.peek(end)) {
+                end += 1;
+            }
+            if self.peek(end) == b'\'' {
+                // 'a' — a char literal (note multi-byte idents can't close).
+                for _ in 0..end + 1 {
+                    self.bump();
+                }
+                self.push(Tok::CharLit, line, col);
+            } else {
+                let name = self.ident_text();
+                self.push(Tok::Lifetime(name), line, col);
+            }
+            return;
+        }
+        // '(' — char literal of a non-ident char, or the degenerate `'`.
+        self.char_body();
+        self.push(Tok::CharLit, line, col);
+    }
+
+    /// Consume a char-literal body up to and including the closing `'`
+    /// (handles `\\`, `\'`, `\u{…}`).
+    fn char_body(&mut self) {
+        while self.pos < self.b.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Numeric literal; returns whether it is a float. Handles `1_000`,
+    /// `0xff`, `1.5`, `1e-3`, `2.5e+7f32`, suffixes, and leaves `0..10`'s
+    /// dots alone. A `.` is part of the number only when *not* followed by
+    /// another `.` or an identifier (so `1.max(2)` stays an integer).
+    fn number(&mut self) -> bool {
+        let mut float = false;
+        let radix_prefix = self.peek(0) == b'0'
+            && matches!(self.peek(1), b'x' | b'X' | b'o' | b'O' | b'b' | b'B');
+        if radix_prefix {
+            self.bump();
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return false;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+            float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump();
+            if matches!(self.peek(0), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Suffix (u8…f64). `f32`/`f64` promote to float.
+        if is_ident_start(self.peek(0)) {
+            let start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let suffix = &self.b[start..self.pos];
+            if suffix == b"f32" || suffix == b"f64" {
+                float = true;
+            }
+        }
+        float
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let l = lex("a /* x /* y */ z */ b");
+        assert_eq!(l.tokens.len(), 2);
+        assert!(l.tokens[0].is_ident("a") && l.tokens[1].is_ident("b"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("y"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let l = lex(r####"let s = r#"unsafe { HashMap }"#;"####);
+        assert!(l.tokens.iter().all(|t| !t.is_ident("unsafe") && !t.is_ident("HashMap")));
+        assert!(l.tokens.iter().any(|t| t.kind == Tok::StrLit));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let k = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(k.contains(&Tok::Lifetime("a".into())));
+        assert_eq!(k.iter().filter(|t| **t == Tok::CharLit).count(), 1);
+        let k = kinds(r"let c = '\''; let l: &'static str = s;");
+        assert_eq!(k.iter().filter(|t| **t == Tok::CharLit).count(), 1);
+        assert!(k.contains(&Tok::Lifetime("static".into())));
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_method_calls() {
+        assert!(kinds("1.5").contains(&Tok::Num { float: true }));
+        assert!(kinds("1e-3").contains(&Tok::Num { float: true }));
+        assert!(kinds("2f64").contains(&Tok::Num { float: true }));
+        assert_eq!(
+            kinds("0..10").iter().filter(|t| **t == Tok::Num { float: false }).count(),
+            2
+        );
+        assert!(kinds("1.max(2)").contains(&Tok::Num { float: false }));
+        assert!(kinds("0xff_u64").contains(&Tok::Num { float: false }));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        assert!(kinds("b'x'").contains(&Tok::CharLit));
+        assert!(kinds(r###"br#"raw"#"###).contains(&Tok::StrLit));
+        assert!(kinds(r#"b"bytes""#).contains(&Tok::StrLit));
+        // `b` and `r` alone are plain identifiers.
+        assert!(kinds("b + r").contains(&Tok::Ident("b".into())));
+    }
+
+    #[test]
+    fn columns_make_compound_operators_checkable() {
+        let l = lex("x += 1;");
+        let plus = l.tokens.iter().position(|t| t.is_punct('+')).unwrap();
+        assert!(l.tokens[plus + 1].is_punct('='));
+        assert_eq!(l.tokens[plus + 1].col, l.tokens[plus].col + 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! dpmd-analyze — workspace-wide determinism & safety linter.
+//!
+//! Self-contained static analysis for this workspace: an own Rust lexer
+//! ([`lexer`], raw strings / nested block comments / lifetime-vs-char) and a
+//! lightweight item parser ([`parser`]) feed six rules ([`rules`]) that
+//! encode the project's invariants:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D1 | no hash-order iteration into order-sensitive sinks |
+//! | D2 | float reductions are chunk-ordered, never scheduling-ordered |
+//! | D3 | every `unsafe` carries a `// SAFETY:` justification |
+//! | D4 | wall clocks only behind `dpmd_obs::clock::wall_now` + allowlist |
+//! | D5 | registered hot-path functions do not allocate |
+//! | D6 | the cross-crate lock graph is acyclic |
+//!
+//! Findings are typed ([`diag::Finding`]) with `file:line` spans, printed
+//! human-readable and as deterministic JSON. A committed baseline
+//! ([`baseline`]) ratchets legacy findings down; `--deny` makes any fresh
+//! finding fail CI. Inline escape hatch: `// dpmd-allow D<n>: reason`
+//! (reason required; D3's escape hatch is the SAFETY comment itself).
+
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use config::Config;
+use diag::{sort_findings, Finding, RuleId};
+use dpmd_obs::{MetricsRegistry, Unit};
+use rules::LockEdge;
+
+/// Result of an analysis run, before baseline application.
+pub struct Report {
+    /// All findings, canonically sorted.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+}
+
+/// Analyze a single source text under a given repo-relative path. Includes
+/// lock-cycle analysis over just this file (tests and tools use this; the
+/// workspace run merges lock edges globally instead).
+pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let parsed = parser::parse_file(path, src);
+    let (mut findings, edges) = rules::analyze_file(&parsed, src, cfg);
+    findings.extend(rules::lock_cycles(&edges));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Directories never scanned: build output, VCS internals, and lint
+/// fixtures (which contain deliberately bad code).
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Collect every workspace `.rs` file under `root`, repo-relative with `/`
+/// separators, sorted — the scan order (and therefore the report) is
+/// independent of filesystem enumeration order.
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("strip_prefix: {e}"))?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze every `.rs` file under `root`. Lock edges are merged across
+/// files before cycle detection, so an A→B in one crate and B→A in another
+/// still report.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut files_scanned = 0u64;
+    for (rel, path) in &files {
+        let Ok(src) = fs::read_to_string(path) else {
+            continue; // non-UTF-8 or unreadable: not a lintable Rust source
+        };
+        files_scanned += 1;
+        let parsed = parser::parse_file(rel, &src);
+        let (file_findings, file_edges) = rules::analyze_file(&parsed, &src, cfg);
+        findings.extend(file_findings);
+        edges.extend(file_edges);
+    }
+    findings.extend(rules::lock_cycles(&edges));
+    sort_findings(&mut findings);
+    Ok(Report { findings, files_scanned })
+}
+
+/// Record rule hit-counts and scan stats into a metrics registry. With the
+/// `capture` feature off (the default) this is free.
+pub fn record_metrics(
+    reg: &MetricsRegistry,
+    fresh: &[Finding],
+    baselined: &[Finding],
+    files_scanned: u64,
+) {
+    reg.counter("analyze.files_scanned", Unit::Count).add(files_scanned);
+    reg.counter("analyze.findings.total", Unit::Count)
+        .add((fresh.len() + baselined.len()) as u64);
+    reg.counter("analyze.findings.suppressed", Unit::Count).add(baselined.len() as u64);
+    for rule in RuleId::ALL {
+        let n = fresh.iter().chain(baselined).filter(|f| f.rule == rule).count() as u64;
+        if n > 0 {
+            let name = format!("analyze.rule.{}", rule.as_str().to_lowercase());
+            reg.counter(&name, Unit::Count).add(n);
+        }
+    }
+}
+
+/// Parsed CLI options.
+struct Opts {
+    root: PathBuf,
+    deny: bool,
+    bless: bool,
+    baseline: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json_out: Option<PathBuf>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        deny: false,
+        bless: std::env::var("DPMD_BLESS").is_ok_and(|v| v == "1"),
+        baseline: None,
+        config: None,
+        json_out: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<PathBuf, String> {
+        *i += 1;
+        args.get(*i).map(PathBuf::from).ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny" => opts.deny = true,
+            "--bless" => opts.bless = true,
+            "--baseline" => opts.baseline = Some(value(&mut i, "--baseline")?),
+            "--config" => opts.config = Some(value(&mut i, "--config")?),
+            "--root" => opts.root = value(&mut i, "--root")?,
+            "--json" => opts.json_out = Some(value(&mut i, "--json")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: dpmd-analyze [--deny] [--bless] [--root DIR] \
+[--baseline PATH] [--config PATH] [--json PATH]\n\
+  --deny      exit 1 on any finding not covered by the baseline\n\
+  --bless     rewrite the baseline to cover current findings (or DPMD_BLESS=1)\n\
+  --root      workspace root to scan (default .)\n\
+  --baseline  baseline file (default <root>/analyze-baseline.json if present)\n\
+  --config    rule config (default <root>/analyze-config.json if present)\n\
+  --json      also write findings as deterministic JSON to PATH";
+
+/// Run the analyzer CLI. Returns the process exit code. Shared between the
+/// `dpmd-analyze` binary and the `dpmd analyze` subcommand.
+pub fn run_cli(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+
+    let config_path =
+        opts.config.clone().unwrap_or_else(|| opts.root.join("analyze-config.json"));
+    let cfg = if config_path.is_file() {
+        match fs::read_to_string(&config_path).map_err(|e| e.to_string()).and_then(|t| {
+            Config::from_json(&t)
+        }) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("dpmd-analyze: {}: {e}", config_path.display());
+                return 2;
+            }
+        }
+    } else if opts.config.is_some() {
+        eprintln!("dpmd-analyze: config {} not found", config_path.display());
+        return 2;
+    } else {
+        Config::default()
+    };
+
+    let report = match analyze_workspace(&opts.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dpmd-analyze: {e}");
+            return 2;
+        }
+    };
+
+    let baseline_path =
+        opts.baseline.clone().unwrap_or_else(|| opts.root.join("analyze-baseline.json"));
+    if opts.bless {
+        let blessed = Baseline::covering(&report.findings);
+        if let Err(e) = fs::write(&baseline_path, blessed.to_json() + "\n") {
+            eprintln!("dpmd-analyze: write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        println!(
+            "dpmd-analyze: blessed {} finding(s) into {}",
+            report.findings.len(),
+            baseline_path.display()
+        );
+        return 0;
+    }
+    let baseline = if baseline_path.is_file() {
+        match fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Baseline::from_json(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("dpmd-analyze: {}: {e}", baseline_path.display());
+                return 2;
+            }
+        }
+    } else if opts.baseline.is_some() {
+        eprintln!("dpmd-analyze: baseline {} not found", baseline_path.display());
+        return 2;
+    } else {
+        Baseline::default()
+    };
+
+    let files_scanned = report.files_scanned;
+    let (fresh, baselined) = baseline.split(report.findings);
+
+    let reg = MetricsRegistry::new();
+    record_metrics(&reg, &fresh, &baselined, files_scanned);
+
+    if let Some(json_path) = &opts.json_out {
+        if let Err(e) = fs::write(json_path, diag::to_json(&fresh) + "\n") {
+            eprintln!("dpmd-analyze: write {}: {e}", json_path.display());
+            return 2;
+        }
+    }
+
+    for f in &fresh {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule.as_str(), f.message);
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet);
+        }
+    }
+    println!(
+        "dpmd-analyze: {} file(s) scanned, {} finding(s), {} baselined",
+        files_scanned,
+        fresh.len(),
+        baselined.len()
+    );
+    for rule in RuleId::ALL {
+        let n = fresh.iter().filter(|f| f.rule == rule).count();
+        let b = baselined.iter().filter(|f| f.rule == rule).count();
+        if n + b > 0 {
+            println!("  {}: {n} fresh, {b} baselined — {}", rule.as_str(), rule.summary());
+        }
+    }
+
+    if opts.deny && !fresh.is_empty() {
+        eprintln!(
+            "dpmd-analyze: --deny: {} unbaselined finding(s); fix them, add an inline \
+             `// dpmd-allow <RULE>: reason`, or re-bless the baseline",
+            fresh.len()
+        );
+        return 1;
+    }
+    0
+}

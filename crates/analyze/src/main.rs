@@ -1,0 +1,7 @@
+//! `dpmd-analyze` binary — thin wrapper over [`dpmd_analyze::run_cli`],
+//! shared with the `dpmd analyze` subcommand.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dpmd_analyze::run_cli(&args));
+}

@@ -1,0 +1,320 @@
+//! A lightweight item/block parser over the token stream.
+//!
+//! The rules don't need full Rust syntax — they need to know, for every
+//! file: where each `fn` body starts and ends, which code is test-only
+//! (`#[cfg(test)]` modules, `#[test]` functions, `tests/`/`benches/`/
+//! `examples/` targets), where `unsafe` regions begin, and how braces nest.
+//! This module extracts exactly that, tolerantly: unparseable stretches are
+//! skipped, never fatal.
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+
+/// Why an `unsafe` keyword appeared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe fn …`.
+    Fn,
+    /// `unsafe impl …` / `unsafe trait …` (safety obligations live on the
+    /// trait contract; still worth a SAFETY note).
+    ImplOrTrait,
+}
+
+/// One `unsafe` occurrence.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub kind: UnsafeKind,
+    pub line: u32,
+}
+
+/// One function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token range of the body block, *excluding* the outer braces
+    /// (`None` for trait-method declarations without bodies).
+    pub body: Option<(usize, usize)>,
+    /// Inside `#[cfg(test)]`, under `#[test]`, or in a test-like target.
+    pub is_test: bool,
+}
+
+/// A parsed source file.
+pub struct ParsedFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub fns: Vec<FnItem>,
+    pub unsafes: Vec<UnsafeSite>,
+    /// Whole file is test-like (under `tests/`, `benches/`, `examples/`,
+    /// or a `fixtures/` data directory).
+    pub file_is_testlike: bool,
+}
+
+impl ParsedFile {
+    /// Find the token index of the brace matching the opening brace at
+    /// `open` (which must be `{`). Returns the index of the closing `}`.
+    pub fn match_brace(&self, open: usize) -> usize {
+        match_brace(&self.tokens, open)
+    }
+
+    /// Is there an inline `// dpmd-allow <rule>: reason` on `line` or the
+    /// line above? Requires a non-empty justification after the colon.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        let needle = format!("dpmd-allow {rule}");
+        self.comments.iter().any(|c| {
+            (c.end_line + 1 == line || (c.start_line <= line && line <= c.end_line))
+                && c.text
+                    .split(&needle)
+                    .nth(1)
+                    .is_some_and(|rest| {
+                        let rest = rest.trim_start();
+                        rest.starts_with(':') && rest[1..].trim().len() > 2
+                    })
+        })
+    }
+
+    /// Is a comment containing `SAFETY:` attached to `line` — on the line
+    /// itself, or anywhere in the contiguous run of comment lines directly
+    /// above it? (A multi-line `// SAFETY: …` justification often has the
+    /// keyword only on its first line; a blank line breaks attachment.)
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        let covering = |l: u32| self.comments.iter().find(|c| c.start_line <= l && l <= c.end_line);
+        let is_safety =
+            |c: &Comment| c.text.contains("SAFETY:") || c.text.contains("Safety:");
+        if covering(line).is_some_and(is_safety) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            match covering(l - 1) {
+                Some(c) => {
+                    if is_safety(c) {
+                        return true;
+                    }
+                    l = c.start_line;
+                }
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// The trimmed source line `line` (1-based), for snippets.
+    pub fn source_line<'a>(&self, src: &'a str, line: u32) -> &'a str {
+        src.lines().nth(line as usize - 1).unwrap_or("").trim()
+    }
+}
+
+/// Match a `{` at token index `open` to its closing `}` index. Counts only
+/// braces (parens/brackets cannot contain unbalanced braces in valid Rust).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Match a `(` at token index `open` to its closing `)` index, counting all
+/// three bracket kinds so nested closures/indexing don't desynchronize.
+pub fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            crate::lexer::Tok::Punct('(') => depth += 1,
+            crate::lexer::Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Parse one file's source.
+pub fn parse_file(path: &str, src: &str) -> ParsedFile {
+    let Lexed { tokens, comments } = lex(src);
+    let file_is_testlike = {
+        let p = format!("/{path}");
+        ["/tests/", "/benches/", "/examples/", "/fixtures/"].iter().any(|d| p.contains(d))
+    };
+
+    let mut fns = Vec::new();
+    let mut unsafes = Vec::new();
+
+    // Test regions: `#[cfg(test)]` (optionally with more attrs) before a
+    // `mod name {` — mark the block's token range.
+    let mut test_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            // Scan forward to the next `{` before a `;` — the mod body.
+            let mut j = i;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('{') {
+                test_ranges.push((j, match_brace(&tokens, j)));
+            }
+        }
+        i += 1;
+    }
+    let in_test_range =
+        |i: usize| file_is_testlike || test_ranges.iter().any(|&(a, b)| a <= i && i <= b);
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_ident("unsafe") {
+            let kind = match tokens.get(i + 1) {
+                Some(n) if n.is_punct('{') => Some(UnsafeKind::Block),
+                Some(n) if n.is_ident("fn") || n.is_ident("extern") => Some(UnsafeKind::Fn),
+                Some(n) if n.is_ident("impl") || n.is_ident("trait") => {
+                    Some(UnsafeKind::ImplOrTrait)
+                }
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                unsafes.push(UnsafeSite { kind, line: t.line });
+            }
+        }
+        if t.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if let Some(name) = name_tok.ident() {
+                    // Walk to the body `{` or a `;` (declaration only).
+                    // Parens/brackets are skipped wholesale so default
+                    // closure arguments can't confuse the scan.
+                    let mut j = i + 2;
+                    let mut body = None;
+                    while j < tokens.len() {
+                        if tokens[j].is_punct('(') {
+                            j = match_paren(&tokens, j) + 1;
+                            continue;
+                        }
+                        if tokens[j].is_punct('{') {
+                            let close = match_brace(&tokens, j);
+                            body = Some((j + 1, close));
+                            break;
+                        }
+                        if tokens[j].is_punct(';') {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    let is_test = in_test_range(i) || has_test_attr(&tokens, i);
+                    fns.push(FnItem {
+                        name: name.to_string(),
+                        line: t.line,
+                        sig_start: i,
+                        body,
+                        is_test,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+
+    ParsedFile { path: path.to_string(), tokens, comments, fns, unsafes, file_is_testlike }
+}
+
+/// Does an `#[cfg(test)]` attribute start at token `i`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+}
+
+/// Is the `fn` at token index `fn_idx` annotated `#[test]` (or
+/// `#[should_panic]`-style companions) in the few tokens before it?
+fn has_test_attr(tokens: &[Token], fn_idx: usize) -> bool {
+    // Scan back over attributes and modifiers.
+    let lo = fn_idx.saturating_sub(24);
+    let mut i = fn_idx;
+    while i > lo {
+        i -= 1;
+        let t = &tokens[i];
+        if t.is_ident("test") || t.is_ident("should_panic") || t.is_ident("bench") {
+            // Part of an attribute? `#[test]` → preceded by `[` preceded by `#`.
+            if i >= 2 && tokens[i - 1].is_punct('[') && tokens[i - 2].is_punct('#') {
+                return true;
+            }
+        }
+        // Stop scanning at statement/item boundaries.
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_and_bodies() {
+        let p = parse_file(
+            "crates/x/src/lib.rs",
+            "pub fn a(x: usize) -> usize { x + 1 }\nfn b();\nunsafe fn c() {}\n",
+        );
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(p.fns[0].name, "a");
+        assert!(p.fns[0].body.is_some());
+        assert!(p.fns[1].body.is_none());
+        assert_eq!(p.unsafes.len(), 1);
+        assert_eq!(p.unsafes[0].kind, UnsafeKind::Fn);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_fns() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {}\n}\n";
+        let p = parse_file("crates/x/src/lib.rs", src);
+        let real = p.fns.iter().find(|f| f.name == "real").unwrap();
+        let t = p.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(!real.is_test);
+        assert!(t.is_test);
+    }
+
+    #[test]
+    fn tests_dir_files_are_testlike() {
+        let p = parse_file("crates/x/tests/foo.rs", "fn helper() {}");
+        assert!(p.file_is_testlike);
+        assert!(p.fns[0].is_test);
+    }
+
+    #[test]
+    fn unsafe_blocks_and_safety_comments() {
+        let src = "fn f() {\n    // SAFETY: the latch outlives the borrow.\n    let j = unsafe { transmute(job) };\n}\n";
+        let p = parse_file("crates/x/src/lib.rs", src);
+        assert_eq!(p.unsafes.len(), 1);
+        assert_eq!(p.unsafes[0].kind, UnsafeKind::Block);
+        assert!(p.has_safety_comment(p.unsafes[0].line));
+    }
+
+    #[test]
+    fn dpmd_allow_requires_a_reason() {
+        let src = "// dpmd-allow D5: scratch reused across rounds\nlet v = Vec::new();\n// dpmd-allow D5:\nlet w = Vec::new();\n";
+        let p = parse_file("crates/x/src/lib.rs", src);
+        assert!(p.allowed("D5", 2));
+        assert!(!p.allowed("D5", 4), "empty justification must not count");
+        assert!(!p.allowed("D4", 2), "rule must match");
+    }
+}

@@ -1,0 +1,104 @@
+//! Fixture-driven rule tests: each `d<n>_bad.rs` fixture fires its rule
+//! exactly once; the blessed and adversarial fixtures stay silent.
+//!
+//! Fixtures are analyzed under **synthetic** `crates/fixture/src/…` paths:
+//! the parser treats real `tests/` paths as test-like (rules are relaxed
+//! there), which would defeat the point of the fixtures.
+
+use dpmd_analyze::analyze_source;
+use dpmd_analyze::config::{Config, HotPath};
+use dpmd_analyze::diag::{Finding, RuleId};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Analyze fixture `name` under a synthetic production path.
+fn run(name: &str, cfg: &Config) -> Vec<Finding> {
+    analyze_source(&format!("crates/fixture/src/{name}"), &fixture(name), cfg)
+}
+
+/// The config fixtures run under: default rules plus the D5 fixture's
+/// hot-path registration.
+fn fixture_config() -> Config {
+    let mut cfg = Config::default();
+    cfg.hotpaths.push(HotPath {
+        path_suffix: "crates/fixture/src/d5_bad.rs".to_string(),
+        fn_name: "hot_inner".to_string(),
+    });
+    cfg
+}
+
+fn assert_fires_once(name: &str, rule: RuleId) {
+    let findings = run(name, &fixture_config());
+    assert_eq!(
+        findings.len(),
+        1,
+        "{name} must produce exactly one finding, got {findings:?}"
+    );
+    assert_eq!(findings[0].rule, rule, "{name} fired the wrong rule: {findings:?}");
+    assert!(findings[0].line > 0, "{name} finding must carry a line");
+}
+
+#[test]
+fn d1_bad_fires_exactly_once() {
+    assert_fires_once("d1_bad.rs", RuleId::D1);
+}
+
+#[test]
+fn d2_bad_fires_exactly_once() {
+    assert_fires_once("d2_bad.rs", RuleId::D2);
+}
+
+#[test]
+fn d3_bad_fires_exactly_once() {
+    assert_fires_once("d3_bad.rs", RuleId::D3);
+}
+
+#[test]
+fn d4_bad_fires_exactly_once() {
+    assert_fires_once("d4_bad.rs", RuleId::D4);
+}
+
+#[test]
+fn d5_bad_fires_exactly_once() {
+    assert_fires_once("d5_bad.rs", RuleId::D5);
+}
+
+#[test]
+fn d6_bad_fires_exactly_once() {
+    assert_fires_once("d6_bad.rs", RuleId::D6);
+}
+
+#[test]
+fn blessed_patterns_stay_silent() {
+    let findings = run("blessed.rs", &fixture_config());
+    assert!(findings.is_empty(), "blessed fixture must be clean: {findings:?}");
+}
+
+#[test]
+fn adversarial_decoys_stay_silent() {
+    let findings = run("adversarial.rs", &fixture_config());
+    assert!(findings.is_empty(), "adversarial fixture must be clean: {findings:?}");
+}
+
+#[test]
+fn d4_fixture_is_quiet_on_an_allowlisted_path() {
+    // The same source that fires under a production path is fine inside
+    // the observability crate.
+    let findings = analyze_source(
+        "crates/obs/src/anything.rs",
+        &fixture("d4_bad.rs"),
+        &fixture_config(),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d5_fixture_is_quiet_without_registration() {
+    // The hot-path manifest is opt-in: the same allocation is legal in an
+    // unregistered function.
+    let findings = run("d5_bad.rs", &Config::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}

@@ -1,0 +1,44 @@
+//! Lexer/parser stress fixture: every rule trigger below is a decoy
+//! hidden where only a broken lexer would see it — string literals,
+//! nested block comments, raw strings, macro-quoted text. The analyzer
+//! must report nothing.
+
+pub fn decoys() -> usize {
+    // Raw string: its contents must be invisible to every rule.
+    let s = r#"unsafe { HashMap::new() } and Instant::now() and Mutex::lock()"#;
+    // Hash-quoted raw string containing a quote.
+    let r = r##"a "quoted" for x in map.values() { total += x }"##;
+    // Plain string with escapes that would desynchronize a naive scanner.
+    let t = "for \"x\" in map.values() { total += x } \\";
+    /* Nested /* block comment: unsafe, Mutex::lock(), SystemTime::now()
+       all live here */ and the outer level continues past the nesting */
+    let apostrophe = '\'';
+    let backslash = '\\';
+    let brace = '{';
+    s.len() + r.len() + t.len() + (apostrophe as usize) + (backslash as usize) + (brace as usize)
+}
+
+/// Lifetimes must lex as lifetimes, not unterminated char literals.
+pub struct Holder<'a> {
+    slice: &'a [u8],
+}
+
+impl<'a> Holder<'a> {
+    pub fn head(&self) -> Option<&'a u8> {
+        self.slice.first()
+    }
+
+    pub fn tail(&self) -> &'a [u8] {
+        &self.slice[1..]
+    }
+}
+
+macro_rules! quoted {
+    () => {
+        "Instant::now() quoted inside a macro body"
+    };
+}
+
+pub fn via_macro() -> &'static str {
+    quoted!()
+}

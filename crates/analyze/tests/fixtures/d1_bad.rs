@@ -1,0 +1,8 @@
+// D1 fixture: hash-order iteration feeding a float sum. Exactly one
+// finding: the `.values().sum()` chain below. (Never compiled — this
+// directory is excluded from the workspace scan and from cargo.)
+use std::collections::HashMap;
+
+pub fn total_energy(per_atom: &HashMap<usize, f64>) -> f64 {
+    per_atom.values().sum()
+}

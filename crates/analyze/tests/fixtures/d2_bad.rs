@@ -1,0 +1,14 @@
+// D2 fixture: a float accumulator captured into a spawn region. Exactly
+// one finding: the `*total += …` inside the spawned closure.
+
+pub fn reduce(pool: &Pool, chunks: &[Vec<f64>], total: &mut f64) {
+    pool.scope(|s| {
+        for chunk in chunks {
+            s.spawn(move || {
+                for x in chunk {
+                    *total += *x;
+                }
+            });
+        }
+    });
+}

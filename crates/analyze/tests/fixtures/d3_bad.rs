@@ -1,0 +1,6 @@
+// D3 fixture: an unsafe block with no justification comment attached.
+// Exactly one finding.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

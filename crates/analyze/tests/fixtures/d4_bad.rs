@@ -1,0 +1,9 @@
+// D4 fixture: a raw wall-clock read outside the observability allowlist.
+// Exactly one finding: the `Instant::now()` call.
+use std::time::Instant;
+
+pub fn step_timed(work: impl FnOnce()) -> u128 {
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,11 @@
+// D5 fixture: an allocation inside a registered hot-path function.
+// Exactly one finding (`Vec::new`), under a config that registers
+// `hot_inner` as a hot path.
+
+pub fn hot_inner(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for x in xs {
+        out.push(*x * 2.0);
+    }
+    out
+}

@@ -1,0 +1,23 @@
+// D6 fixture: two let-bound guards taken in opposite orders in two
+// functions — a classic AB/BA deadlock. Exactly one finding (one
+// canonical cycle, however many edges feed it).
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a + *b
+    }
+}

@@ -1,0 +1,35 @@
+//! Rule hit-counts flow through dpmd-obs: `record_metrics` must register
+//! per-rule counters plus scan/suppression totals. Built with the obs
+//! `capture` feature (dev-dependency), so the counters are live here even
+//! though library consumers get no-op handles by default.
+
+use dpmd_analyze::diag::{Finding, RuleId};
+use dpmd_analyze::record_metrics;
+use dpmd_obs::MetricsRegistry;
+
+fn finding(rule: RuleId, line: u32) -> Finding {
+    Finding {
+        rule,
+        path: "crates/fixture/src/lib.rs".to_string(),
+        line,
+        message: "test finding".to_string(),
+        snippet: String::new(),
+    }
+}
+
+#[test]
+fn record_metrics_counts_rules_and_suppressions() {
+    let reg = MetricsRegistry::new();
+    let fresh = vec![finding(RuleId::D1, 1), finding(RuleId::D1, 2), finding(RuleId::D4, 3)];
+    let baselined = vec![finding(RuleId::D5, 4)];
+    record_metrics(&reg, &fresh, &baselined, 157);
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("analyze.files_scanned"), Some(157));
+    assert_eq!(snap.counter("analyze.findings.total"), Some(3 + 1));
+    assert_eq!(snap.counter("analyze.findings.suppressed"), Some(1));
+    assert_eq!(snap.counter("analyze.rule.d1"), Some(2));
+    assert_eq!(snap.counter("analyze.rule.d4"), Some(1));
+    assert_eq!(snap.counter("analyze.rule.d5"), Some(1));
+    assert_eq!(snap.counter("analyze.rule.d2"), None, "unhit rules register no counter");
+}

@@ -17,6 +17,10 @@
 //!   paper's "limited assistance for systems with uniform density" claim
 //!   is measurable against the node-box pooling.
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod assign;
 pub mod ghost;
 pub mod pair_time;

@@ -6,6 +6,10 @@
 //! whose measured ratios ground the performance model (sve-gemm vs naive
 //! vs blocked, NN vs NT, f64/f32/f16).
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 /// Print a banner + rendered table once per bench binary.
 pub fn banner(name: &str, rendered: &str) {
     println!("\n################ {name} ################");

@@ -38,7 +38,9 @@ fn usage() {
     println!("               [--profile FILE] [--trace FILE]");
     println!("       dpmd md batch --replicas N --steps S [--cells N] [--water]");
     println!("               [--precision P] [--in-flight K] [--sequential] [--profile FILE]");
-    println!("       dpmd validate-obs <profile.json> [trace.json]\n");
+    println!("       dpmd validate-obs <profile.json> [trace.json]");
+    println!("       dpmd analyze [--deny] [--baseline PATH] [--config PATH] [--root DIR]");
+    println!("               [--json PATH] [--bless]\n");
     println!("experiments:");
     for (name, desc) in EXPERIMENTS {
         println!("  {name:10} {desc}");
@@ -71,6 +73,10 @@ fn usage() {
     println!("  --precision P  double | fp32 (default) | fp16 — fusion needs a");
     println!("                 mixed-precision path; double falls back to solo");
     println!("\nvalidate-obs: check --profile/--trace outputs against the schema");
+    println!("\nanalyze: determinism & safety linter over the workspace sources");
+    println!("  (rules D1-D6: hash-order, float reductions, SAFETY comments,");
+    println!("  wall clocks, hot-path allocation, lock order); --deny fails on");
+    println!("  any finding not covered by the committed baseline");
 }
 
 /// `dpmd md batch`: the multi-replica batch scheduler surface.
@@ -110,7 +116,7 @@ fn run_md_batch(args: &[String]) -> bool {
     let mut sched =
         dpmd_serve::BatchScheduler::new(parts, replicas, steps).max_in_flight(in_flight);
 
-    let t0 = std::time::Instant::now();
+    let t0 = dpmd_obs::clock::wall_now();
     let (mode, rounds) = if sequential {
         ("sequential", sched.run_sequential())
     } else {
@@ -425,6 +431,15 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
+            }
+        }
+        "analyze" => {
+            // Shared driver with the standalone `dpmd-analyze` binary.
+            let code = dpmd_analyze::run_cli(&args[1..]);
+            if code == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(code as u8)
             }
         }
         "all" => {

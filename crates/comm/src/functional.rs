@@ -246,7 +246,7 @@ pub fn apply_forward_messages(
 ) {
     match scheme {
         ExchangeScheme::RankP2p => {
-            let mut incoming: Vec<Vec<GhostEntry>> = vec![Vec::new(); decomp.num_ranks()];
+            let mut incoming: Vec<Vec<GhostEntry>> = vec![Vec::new(); decomp.num_ranks()]; // dpmd-allow D5: per-exchange staging, one vec per rank
             for m in messages {
                 let dst = m.dst as usize;
                 let (lo, hi) = decomp.rank_box(dst);
@@ -264,7 +264,7 @@ pub fn apply_forward_messages(
         ExchangeScheme::NodeBased => {
             // Leaders' inboxes: remote node ghosts, keyed by receiving node.
             let nnodes = decomp.num_nodes();
-            let mut node_ghosts: Vec<Vec<GhostEntry>> = vec![Vec::new(); nnodes];
+            let mut node_ghosts: Vec<Vec<GhostEntry>> = vec![Vec::new(); nnodes]; // dpmd-allow D5: per-exchange staging, one vec per node
             for m in messages {
                 node_ghosts[decomp.rank_to_node(m.dst as usize)].extend_from_slice(&m.payload);
             }
@@ -273,7 +273,7 @@ pub fn apply_forward_messages(
             for (n, ghosts) in node_ghosts.iter().enumerate() {
                 for dst in decomp.node_ranks(n) {
                     let (lo, hi) = decomp.rank_box(dst);
-                    let mut incoming: Vec<GhostEntry> = Vec::new();
+                    let mut incoming: Vec<GhostEntry> = Vec::new(); // dpmd-allow D5: per-exchange staging, grows to the halo size
                     // Sibling locals (from the node gather).
                     for r in decomp.node_ranks(n) {
                         if r == dst {
@@ -496,7 +496,7 @@ pub fn build_reverse_messages(per_rank: &[Atoms]) -> Vec<Message<ForceEntry>> {
 pub fn apply_reverse_messages(per_rank: &mut [Atoms], messages: &[Message<ForceEntry>]) {
     let index: Vec<HashMap<u64, usize>> = per_rank
         .iter()
-        .map(|a| (0..a.nlocal).map(|i| (a.id[i], i)).collect())
+        .map(|a| (0..a.nlocal).map(|i| (a.id[i], i)).collect()) // dpmd-allow D5: per-exchange id index, rebuilt after migration
         .collect();
     for m in messages {
         let dst = m.dst as usize;

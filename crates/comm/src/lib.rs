@@ -35,6 +35,10 @@
 //!   per scheme, transport retries and backoffs, mempool high-water, TNI
 //!   utilization).
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod fault;
 pub mod functional;

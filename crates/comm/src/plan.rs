@@ -5,7 +5,7 @@
 //! models are grounded in the actual workload rather than an idealized
 //! density.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use minimd::atoms::Atoms;
 use minimd::domain::Decomposition;
@@ -21,10 +21,10 @@ pub const ATOM_REVERSE_BYTES: usize = 3 * 8;
 #[derive(Clone, Debug, Default)]
 pub struct HaloPlan {
     /// Ghost atom count per directed rank pair `(src, dst)`.
-    pub rank_pairs: HashMap<(usize, usize), usize>,
+    pub rank_pairs: BTreeMap<(usize, usize), usize>,
     /// Ghost atom count per directed node pair (deduplicated: an atom
     /// needed by several ranks of one node counts once).
-    pub node_pairs: HashMap<(usize, usize), usize>,
+    pub node_pairs: BTreeMap<(usize, usize), usize>,
     /// Number of ranks.
     pub num_ranks: usize,
     /// Number of nodes.
@@ -35,8 +35,8 @@ impl HaloPlan {
     /// Build the plan: for every local atom, find the neighbour ranks and
     /// nodes whose ghost region contains it.
     pub fn build(decomp: &Decomposition, atoms: &Atoms, rc: f64) -> Self {
-        let mut rank_pairs: HashMap<(usize, usize), usize> = HashMap::new();
-        let mut node_pairs: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut rank_pairs: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut node_pairs: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         // Stencils are identical for every rank/node (uniform grid), so
         // enumerate them once from rank/node 0 and translate.
         for i in 0..atoms.nlocal {

@@ -23,6 +23,10 @@
 //! println!("predicted {nsday:.0} ns/day on 12,000 nodes");
 //! ```
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod performance;
 

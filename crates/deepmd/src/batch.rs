@@ -36,7 +36,7 @@
 //! trajectories bit-identical solo vs. batched at any batch size and thread
 //! count.
 
-use std::time::Instant;
+use dpmd_obs::clock::wall_now;
 
 use dpmd_threads::atom_chunks;
 use minimd::atoms::Atoms;
@@ -357,7 +357,7 @@ impl DpEngine {
         let tally = self.obs.as_ref().map(|o| &o.gemm);
 
         // Pass 1: descriptors, per job (chunk-parallel inside each call).
-        let t0 = Instant::now();
+        let t0 = wall_now();
         let envs: Vec<Vec<crate::descriptor::Environment>> = jobs
             .iter()
             .map(|j| build_environments_on(pool, j.atoms, j.nl, j.bx, cfg.rcut_smth, cfg.rcut))
@@ -374,7 +374,7 @@ impl DpEngine {
         // entry, so the grouping cannot change bits. The order-dependent
         // part — accumulating the T matrix — then replays per atom in
         // entry order, exactly as `embed_atom32` interleaves it.
-        let t0 = Instant::now();
+        let t0 = wall_now();
         // Per-atom embedding buffers live in the workspace: every field is
         // either fully overwritten this round (`g`/`dg_ds` by the scatter,
         // `coords` by the T accumulation) or re-zeroed here (`t`, and the
@@ -526,7 +526,7 @@ impl DpEngine {
         // descriptor row D is pure per atom (computed here in the solo loop
         // order); the net forward/backward then runs once per species as
         // layer-wise batched GEMMs over all stacked rows.
-        let t0 = Instant::now();
+        let t0 = wall_now();
         let mut efit: Vec<Vec<f32>> = Vec::with_capacity(jobs.len());
         let mut de_dd: Vec<Vec<f32>> = Vec::with_capacity(jobs.len());
         for j in jobs.iter() {

@@ -23,6 +23,10 @@
 //! 7. the **type-sorted environment layout** vs the baseline
 //!    slice-and-concat handling of multi-species systems ([`typesort`]).
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod compress;
 pub mod config;

@@ -5,7 +5,7 @@
 //! and TensorFlow-graph execution paths (crate modules [`crate::engine`] and
 //! the `nnet::graph` baseline) are validated against it.
 
-use std::time::Instant;
+use dpmd_obs::clock::wall_now;
 
 use dpmd_threads::{atom_chunks, ThreadPool};
 use minimd::atoms::Atoms;
@@ -290,7 +290,7 @@ impl DeepPotModel {
         let mut phases = ForcePhases::default();
 
         // Pass 1: descriptor (environment matrices).
-        let t0 = Instant::now();
+        let t0 = wall_now();
         let envs =
             build_environments_on(pool, atoms, nl, bx, self.config.rcut_smth, self.config.rcut);
         phases.descriptor_s = t0.elapsed().as_secs_f64();
@@ -299,7 +299,7 @@ impl DeepPotModel {
 
         // Pass 2: embedding nets (the GEMM-heavy phase), intermediates
         // stored per atom.
-        let t0 = Instant::now();
+        let t0 = wall_now();
         let mut emb_parts: Vec<Vec<AtomEmbed>> =
             chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
         {
@@ -315,7 +315,7 @@ impl DeepPotModel {
         phases.embedding_s = t0.elapsed().as_secs_f64();
 
         // Pass 3: fitting nets + force backward, one force buffer per chunk.
-        let t0 = Instant::now();
+        let t0 = wall_now();
         struct ChunkOut {
             energy: f64,
             virial: f64,
@@ -352,7 +352,7 @@ impl DeepPotModel {
         phases.fitting_s = t0.elapsed().as_secs_f64();
 
         // Deterministic fixed-order reduction: merge in chunk order.
-        let t0 = Instant::now();
+        let t0 = wall_now();
         let mut total_e = 0.0;
         let mut virial = 0.0;
         for out in outs.into_iter().flatten() {

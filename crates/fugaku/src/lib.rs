@@ -27,6 +27,10 @@
 //! published Fugaku/A64FX/TofuD specifications and the paper's own
 //! measurements (e.g. 0.49 µs put latency, 4 ms TF session overhead).
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod a64fx;
 pub mod collectives;
 pub mod event;

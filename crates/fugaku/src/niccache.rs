@@ -8,7 +8,7 @@
 //! the working set at one entry — communication time stays linear in message
 //! count (Fig. 8).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An LRU cache of NIC entries (connections or memory regions).
 #[derive(Clone, Debug)]
@@ -18,7 +18,7 @@ pub struct NicCache {
     /// Extra latency of a miss (main-memory refill), ns.
     pub miss_penalty_ns: u64,
     // entry -> last-use stamp
-    stamps: HashMap<u64, u64>,
+    stamps: BTreeMap<u64, u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -31,7 +31,7 @@ impl NicCache {
         NicCache {
             capacity,
             miss_penalty_ns,
-            stamps: HashMap::with_capacity(capacity + 1),
+            stamps: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,

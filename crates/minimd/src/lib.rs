@@ -27,6 +27,10 @@
 //! * [`dump`] — extended-XYZ trajectories and LAMMPS-style thermo logs;
 //! * [`sim`] — a single-process simulation driver tying it all together.
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod atoms;
 pub mod compute;
 pub mod domain;

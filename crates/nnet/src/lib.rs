@@ -23,6 +23,10 @@
 //! draw is seeded, so experiments are reproducible bit-for-bit at a given
 //! precision.
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod direct;
 pub mod f16;

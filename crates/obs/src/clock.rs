@@ -1,0 +1,28 @@
+//! The workspace's blessed wall-clock read.
+//!
+//! Determinism invariant **D4** (see `DESIGN.md` and `dpmd-analyze`): code
+//! on deterministic paths must never branch on wall-clock time, and every
+//! wall-clock *measurement* must flow through a choke point that is easy to
+//! audit. [`wall_now`] is that choke point: a direct alias of
+//! [`std::time::Instant::now`] whose call sites are, by construction, the
+//! only places outside `dpmd-obs` and the bench harness that read the
+//! clock. Values derived from it must only ever feed:
+//!
+//! * [`Unit::WallNs`](crate::Unit::WallNs) metrics (excluded from
+//!   deterministic snapshots),
+//! * span traces (schema-validated, never golden-compared), or
+//! * human-facing timing printouts.
+//!
+//! The static analyzer (`cargo run -p dpmd-analyze`) flags any direct
+//! `Instant::now`/`SystemTime::now` outside the allowlisted crates, so new
+//! timing code is funnelled here rather than re-opening ad-hoc clock reads
+//! on simulation paths.
+
+use std::time::Instant;
+
+/// Read the monotonic wall clock. Identical to [`Instant::now`]; exists so
+/// the determinism audit has one named entry point for wall time.
+#[inline]
+pub fn wall_now() -> Instant {
+    Instant::now()
+}

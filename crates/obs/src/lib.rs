@@ -26,8 +26,15 @@
 //! Always-on companions (compiled with or without `capture`):
 //! [`steps::StepSeries`] (the per-step phase store `minimd`'s `StepTiming`
 //! is a view over), [`schema`] (JSON validators for profile and trace
-//! files), and [`trace::TraceEvent`] utilities.
+//! files), [`trace::TraceEvent`] utilities, and [`clock::wall_now`] — the
+//! single sanctioned wall-clock read outside this crate's capture layer
+//! (determinism invariant D4, enforced by `dpmd-analyze`).
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
+pub mod clock;
 pub mod schema;
 pub mod snapshot;
 pub mod steps;

@@ -12,6 +12,10 @@
 //! deterministic work-stealing pool in `dpmd-threads`, which gets its
 //! bit-reproducibility from fixed chunking rather than from being serial.
 
+// Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
+// in dpmd-threads); everything else is safe Rust by construction.
+#![forbid(unsafe_code)]
+
 pub mod prelude {
     /// Borrowing "parallel" iterator over a slice (sequential here).
     pub struct ParIter<'a, T> {

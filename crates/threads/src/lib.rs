@@ -22,6 +22,10 @@
 //! The global pool is sized by the `DPMD_THREADS` environment variable when
 //! set (a positive integer), else by `std::thread::available_parallelism`.
 
+// The one crate with unsafe code (the scope lifetime erasure); every
+// unsafe operation must sit in an explicit block with its own SAFETY.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ops::Range;
