@@ -37,7 +37,9 @@ fn usage() {
     println!("       dpmd md [--water] [--cells N] [--steps N] [--threads N] [--timing]");
     println!("               [--profile FILE] [--trace FILE]");
     println!("       dpmd md batch --replicas N --steps S [--cells N] [--water]");
-    println!("               [--precision P] [--in-flight K] [--sequential] [--profile FILE]");
+    println!("               [--precision P] [--in-flight K|all] [--sequential] [--profile FILE]");
+    println!("       dpmd md serve --script SPEC [--cells N] [--water] [--precision P]");
+    println!("               [--in-flight K|all] [--threads N] [--profile FILE]");
     println!("       dpmd validate-obs <profile.json> [trace.json]");
     println!("       dpmd analyze [--deny] [--baseline PATH] [--config PATH] [--root DIR]");
     println!("               [--json PATH] [--bless]\n");
@@ -68,10 +70,20 @@ fn usage() {
     println!("          (batched) force evaluation; bit-identical to solo runs");
     println!("  --replicas N   independent trajectories (default 4)");
     println!("  --steps S      steps per replica (default 10)");
-    println!("  --in-flight K  admit at most K replicas per round (default: all)");
+    println!("  --in-flight K  admit at most K replicas per round; a positive");
+    println!("                 count or 'all' (default). 0 is rejected: it used");
+    println!("                 to silently mean unlimited");
     println!("  --sequential   step replicas one at a time (the baseline path)");
     println!("  --precision P  double | fp32 (default) | fp16 — fusion needs a");
     println!("                 mixed-precision path; double falls back to solo");
+    println!("\nmd serve: continuous-batching multi-tenant service; tenants");
+    println!("          attach/detach mid-flight via a deterministic arrival");
+    println!("          script (logical rounds, no wall clocks). Trajectories");
+    println!("          stay bit-identical to solo runs regardless of schedule");
+    println!("  --script SPEC  ';'-separated clauses: seed=S tenants=N steps=K");
+    println!("                 window=W queue=N at=ID@R prio=ID:class");
+    println!("                 deadline=ID@R pause=ID@R+K  (class: interactive |");
+    println!("                 standard | batch; queue full => typed rejection)");
     println!("\nvalidate-obs: check --profile/--trace outputs against the schema");
     println!("\nanalyze: determinism & safety linter over the workspace sources");
     println!("  (rules D1-D6: hash-order, float reductions, SAFETY comments,");
@@ -79,12 +91,29 @@ fn usage() {
     println!("  any finding not covered by the committed baseline");
 }
 
+/// Parse `--in-flight` into a typed cap. The old path fed the value through
+/// a default-0 integer parse, so `--in-flight 0`, `--in-flight -3`, and
+/// `--in-flight lots` all silently meant "unlimited"; now anything that
+/// isn't a positive count or `all` is a hard, explained error.
+fn parse_in_flight(args: &[String]) -> Result<dpmd_serve::InFlightCap, String> {
+    match flag_value(args, "--in-flight") {
+        None => Ok(dpmd_serve::InFlightCap::All),
+        Some(v) => v.parse().map_err(|e| format!("--in-flight: {e}")),
+    }
+}
+
 /// `dpmd md batch`: the multi-replica batch scheduler surface.
 fn run_md_batch(args: &[String]) -> bool {
     let replicas = parse_flag(args, "--replicas", 4);
     let steps = parse_flag(args, "--steps", 10) as u64;
     let cells = parse_flag(args, "--cells", 2);
-    let in_flight = parse_flag(args, "--in-flight", 0);
+    let in_flight = match parse_in_flight(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return false;
+        }
+    };
     let water = args.iter().any(|a| a == "--water");
     let sequential = args.iter().any(|a| a == "--sequential");
     let profile_path = flag_value(args, "--profile");
@@ -114,7 +143,7 @@ fn run_md_batch(args: &[String]) -> bool {
     let parts =
         builder.with_model(DeepPotModel::new(DeepPotConfig::tiny(ntypes, 6.0))).build_parts();
     let mut sched =
-        dpmd_serve::BatchScheduler::new(parts, replicas, steps).max_in_flight(in_flight);
+        dpmd_serve::BatchScheduler::new(parts, replicas, steps).in_flight_cap(in_flight);
 
     let t0 = dpmd_obs::clock::wall_now();
     let (mode, rounds) = if sequential {
@@ -133,6 +162,110 @@ fn run_md_batch(args: &[String]) -> bool {
         println!(
             "replica {:>3} (seed {:>6})  pe {:>12.4}  etot {:>12.4}  T {:>8.2} K",
             r.id, r.seed, th.pe, th.etotal, th.temperature
+        );
+    }
+    if let Some(path) = profile_path {
+        let snap = registry.snapshot_deterministic();
+        let n = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("--profile {path}: {e}");
+            return false;
+        }
+        println!("profile: wrote {n} metrics to {path}");
+    }
+    true
+}
+
+/// `dpmd md serve`: the continuous-batching multi-tenant service, driven by
+/// a deterministic arrival script (wall clocks are banned on deterministic
+/// paths, so "when tenants show up" is derived from a seed).
+fn run_md_serve(args: &[String]) -> bool {
+    let Some(spec) = flag_value(args, "--script") else {
+        eprintln!("md serve requires --script SPEC (try --script \"tenants=4;steps=10;window=3\")");
+        return false;
+    };
+    let script = match dpmd_serve::ArrivalScript::parse(spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad --script spec: {e}");
+            return false;
+        }
+    };
+    let cells = parse_flag(args, "--cells", 2);
+    let in_flight = match parse_in_flight(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return false;
+        }
+    };
+    let water = args.iter().any(|a| a == "--water");
+    let profile_path = flag_value(args, "--profile");
+
+    let registry = dpmd_obs::MetricsRegistry::new();
+    let tracebuf = dpmd_obs::TraceBuffer::new();
+    let mut builder = Engine::builder().seed(2024);
+    if profile_path.is_some() {
+        builder = builder.observe(registry.clone(), tracebuf.clone());
+    }
+    builder = if water { builder.water_cells(cells) } else { builder.copper_cells(cells) };
+    builder = match flag_value(args, "--precision").map(String::as_str) {
+        Some("fp32") | None => builder.precision(Precision::Mix32),
+        Some("fp16") => builder.precision(Precision::Mix16),
+        Some("double") => builder.precision(Precision::Double),
+        Some(other) => {
+            eprintln!("unknown --precision '{other}' (use double | fp32 | fp16)");
+            return false;
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+            builder = builder.threads(n);
+        }
+    }
+    let ntypes = if water { 2 } else { 1 };
+    let parts =
+        builder.with_model(DeepPotModel::new(DeepPotConfig::tiny(ntypes, 6.0))).build_parts();
+
+    let mut served =
+        dpmd_serve::ContinuousScheduler::new(parts, in_flight, script.queue_capacity);
+    let t0 = dpmd_obs::clock::wall_now();
+    let outcome = served.run_script(&script);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let done: u64 = served.tenants().iter().map(|t| t.done_steps()).sum();
+    println!(
+        "continuous: {} tenants, {} steps total in {} rounds, cap {in_flight} ({wall:.3} s)",
+        served.tenants().len(),
+        done,
+        outcome.rounds,
+    );
+    if !outcome.rejected.is_empty() {
+        println!("rejected by queue backpressure (queue={}): tenants {:?}", script.queue_capacity, outcome.rejected);
+    }
+    println!(
+        "{:>6} {:>12} {:>8} {:>9} {:>6} {:>9} {:>9} {:>12}",
+        "tenant", "class", "arrived", "admitted", "wait", "steps", "finished", "pe"
+    );
+    for t in served.tenants() {
+        let (finished, deadline_note) = match t.state {
+            dpmd_serve::TenantState::Finished { round } => (
+                round.to_string(),
+                if t.missed_deadline() { " (deadline missed)" } else { "" },
+            ),
+            _ => ("-".to_string(), ""),
+        };
+        println!(
+            "{:>6} {:>12} {:>8} {:>9} {:>6} {:>9} {:>9} {:>12.4}{}",
+            t.id,
+            t.priority.to_string(),
+            t.arrival_round,
+            t.admitted_round.map_or("-".to_string(), |r| r.to_string()),
+            t.queue_wait_rounds,
+            t.done_steps(),
+            finished,
+            t.sim.thermo().pe,
+            deadline_note,
         );
     }
     if let Some(path) = profile_path {
@@ -229,6 +362,9 @@ fn run_faulted(args: &[String], spec: &str) -> bool {
 fn run_md(args: &[String]) -> bool {
     if args.get(1).map(String::as_str) == Some("batch") {
         return run_md_batch(args);
+    }
+    if args.get(1).map(String::as_str) == Some("serve") {
+        return run_md_serve(args);
     }
     if let Some(spec) =
         args.iter().position(|a| a == "--faults").and_then(|i| args.get(i + 1))

@@ -55,4 +55,4 @@ pub use mempool::{MemPool, PoolBlock, PoolError};
 pub use metrics::CommMetrics;
 pub use node_based::{NodeSchemeConfig, NodeSchemeResult};
 pub use plan::{HaloPlan, ATOM_FORWARD_BYTES, ATOM_REVERSE_BYTES};
-pub use transport::{deliver_reliable, DeliveryError, Message};
+pub use transport::{deliver_reliable, DeliveryError, Message, TransportError};

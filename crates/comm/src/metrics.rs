@@ -25,6 +25,7 @@
 //! | `transport.retries` | count | timeout-triggered retransmissions |
 //! | `transport.backoff_ns` | ns | simulated exponential backoff accumulated |
 //! | `transport.pool_exhausted` | count | sends deferred on mempool exhaustion |
+//! | `transport.missing_slots` | count | delivery slots found empty at collection (invariant breach) |
 //! | `transport.retry_rounds` | count | histogram of per-message retry counts |
 //! | `fugaku.tniN.messages` | count | messages routed to RDMA engine N |
 //! | `fugaku.rdma.bytes_simulated` | bytes | bytes injected in the timing model |
@@ -69,6 +70,10 @@ pub struct CommMetrics {
     pub backoff_ns: Counter,
     /// Sends deferred because the RDMA mempool was exhausted.
     pub pool_exhausted: Counter,
+    /// Delivery slots found empty at collection — an invariant breach
+    /// surfaced as [`TransportError::MissingDelivery`](crate::TransportError)
+    /// instead of a panic.
+    pub missing_slots: Counter,
     /// Per-message retry counts (0 = delivered first try).
     pub retry_rounds: Histogram,
     /// Messages routed to each of the node's RDMA engines.
@@ -97,6 +102,7 @@ impl CommMetrics {
             retries: reg.counter("transport.retries", Unit::Count),
             backoff_ns: reg.counter("transport.backoff_ns", Unit::Ns),
             pool_exhausted: reg.counter("transport.pool_exhausted", Unit::Count),
+            missing_slots: reg.counter("transport.missing_slots", Unit::Count),
             retry_rounds: reg.histogram("transport.retry_rounds", Unit::Count, &[0, 1, 2, 4, 8, 16]),
             tni_messages: (0..TNIS_PER_NODE)
                 .map(|i| reg.counter(&format!("fugaku.tni{i}.messages"), Unit::Count))

@@ -51,6 +51,51 @@ impl std::fmt::Display for DeliveryError {
     }
 }
 
+impl std::error::Error for DeliveryError {}
+
+/// Typed failure of [`deliver_reliable`]. Production callers used to hit a
+/// bare `unwrap()` on the delivery slots; both ways the protocol can come up
+/// short are now explicit values the caller decides about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// Retries exhausted with messages still undelivered (only possible
+    /// under pathological fault plans).
+    Undelivered(DeliveryError),
+    /// Internal invariant breach: the protocol claimed completion but a
+    /// delivery slot was empty when collected. Counted on
+    /// `transport.missing_slots` when obs is attached.
+    MissingDelivery {
+        /// Canonical slot index that had no message.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Undelivered(e) => e.fmt(f),
+            TransportError::MissingDelivery { slot } => {
+                write!(f, "transport invariant breach: delivery slot {slot} empty at collection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Undelivered(e) => Some(e),
+            TransportError::MissingDelivery { .. } => None,
+        }
+    }
+}
+
+impl From<DeliveryError> for TransportError {
+    fn from(e: DeliveryError) -> Self {
+        TransportError::Undelivered(e)
+    }
+}
+
 /// A delayed transmission still on the wire.
 struct InFlight {
     arrives_round: u32,
@@ -71,7 +116,7 @@ pub fn deliver_reliable<T: Clone>(
     step: u64,
     entry_bytes: usize,
     messages: &[Message<T>],
-) -> Result<Vec<Message<T>>, DeliveryError> {
+) -> Result<Vec<Message<T>>, TransportError> {
     let plan = session.plan.clone();
     let n = messages.len();
     session.stats.payload_entries += messages.iter().map(|m| m.payload.len() as u64).sum::<u64>();
@@ -214,9 +259,36 @@ pub fn deliver_reliable<T: Clone>(
     }
 
     if remaining > 0 {
-        return Err(DeliveryError { undelivered: remaining, rounds });
+        return Err(TransportError::Undelivered(DeliveryError {
+            undelivered: remaining,
+            rounds,
+        }));
     }
-    Ok(delivered.into_iter().map(|m| m.unwrap()).collect())
+    collect_delivered(session.obs.as_ref(), delivered)
+}
+
+/// Collect the slot buffer into canonical order, surfacing an empty slot as
+/// a typed [`TransportError::MissingDelivery`] (counted on
+/// `transport.missing_slots`) rather than panicking mid-exchange. With
+/// `remaining == 0` every slot is `Some` by construction, so this is the
+/// protocol's last-line invariant check, not a recovery path.
+fn collect_delivered<T>(
+    obs: Option<&crate::metrics::CommMetrics>,
+    delivered: Vec<Option<Message<T>>>,
+) -> Result<Vec<Message<T>>, TransportError> {
+    let mut out = Vec::with_capacity(delivered.len());
+    for (slot, m) in delivered.into_iter().enumerate() {
+        match m {
+            Some(m) => out.push(m),
+            None => {
+                if let Some(o) = obs {
+                    o.missing_slots.inc();
+                }
+                return Err(TransportError::MissingDelivery { slot });
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -275,9 +347,39 @@ mod tests {
         plan.max_retries = 3;
         let mut s = FaultSession::new(plan);
         let err = deliver_reliable(&mut s, CHANNEL_FORWARD, 1, 8, &edges(4)).unwrap_err();
-        assert_eq!(err.rounds, 4);
-        assert!(err.undelivered > 0);
+        let TransportError::Undelivered(d) = err else {
+            panic!("expected Undelivered, got {err:?}");
+        };
+        assert_eq!(d.rounds, 4);
+        assert!(d.undelivered > 0);
         assert_eq!(s.pool.used(), 0, "failed delivery must not leak pool blocks");
+    }
+
+    #[test]
+    fn missing_slot_is_a_typed_error_and_counted() {
+        use dpmd_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let m = crate::metrics::CommMetrics::register(&reg);
+        // Fabricate the invariant breach collect_delivered guards against:
+        // slot 1 empty despite a "complete" protocol run.
+        let delivered: Vec<Option<Message<u64>>> = vec![
+            Some(Message { src: 0, dst: 1, payload: vec![1] }),
+            None,
+            Some(Message { src: 2, dst: 3, payload: vec![2] }),
+        ];
+        let err = collect_delivered(Some(&m), delivered).unwrap_err();
+        assert_eq!(err, TransportError::MissingDelivery { slot: 1 });
+        assert!(err.to_string().contains("slot 1"));
+        if reg.is_enabled() {
+            assert_eq!(reg.snapshot().counter("transport.missing_slots"), Some(1));
+        }
+    }
+
+    #[test]
+    fn full_slots_collect_in_canonical_order() {
+        let msgs = edges(3);
+        let delivered: Vec<Option<Message<u64>>> = msgs.iter().cloned().map(Some).collect();
+        assert_eq!(collect_delivered(None, delivered).unwrap(), msgs);
     }
 
     #[test]

@@ -147,6 +147,50 @@ impl Simulation {
         sim
     }
 
+    /// Assemble a simulation **without** evaluating initial forces: the
+    /// neighbour list is built and `atoms.force` is zeroed, but the caller
+    /// must evaluate forces for the initial positions (however it likes —
+    /// the continuous batch scheduler fuses the initial evaluations of
+    /// every tenant attaching in the same round) and hand the result to
+    /// [`initialize_forces`](Self::initialize_forces) before the first
+    /// step.
+    pub fn new_deferred(
+        bx: SimBox,
+        atoms: Atoms,
+        potential: Box<dyn Potential>,
+        integrator: VelocityVerlet,
+        skin: f64,
+        rebuild_every: u64,
+    ) -> Self {
+        let nl = NeighborList::new(potential.cutoff(), skin, ListKind::Full);
+        let mut sim = Simulation {
+            bx,
+            atoms,
+            potential,
+            integrator,
+            nl,
+            rebuild_every,
+            step: 0,
+            last: Thermo::default(),
+            last_virial: 0.0,
+            series: StepSeries::new(),
+            obs: None,
+        };
+        sim.nl.build(&sim.atoms, &sim.bx);
+        sim.atoms.zero_forces();
+        sim
+    }
+
+    /// Complete a [`new_deferred`](Self::new_deferred) construction:
+    /// forces for the current positions are already in `atoms.force`
+    /// (e.g. restored from a fused batched evaluation) and `out` carries
+    /// their energy and virial. Records the step-0 thermo exactly as
+    /// [`new`](Self::new) does, so a bit-identical evaluation yields a
+    /// bit-identical simulation.
+    pub fn initialize_forces(&mut self, out: PotentialOutput) {
+        self.finish_force_update(out);
+    }
+
     /// Current step index.
     pub fn step_index(&self) -> u64 {
         self.step
@@ -203,6 +247,14 @@ impl Simulation {
     fn recompute_forces(&mut self) -> f64 {
         self.atoms.zero_forces();
         let out = self.potential.compute(&mut self.atoms, &self.nl, &self.bx);
+        let energy = out.energy;
+        self.finish_force_update(out);
+        energy
+    }
+
+    /// Record the thermo state implied by freshly evaluated forces (already
+    /// in `atoms.force`) whose energy/virial are in `out`.
+    fn finish_force_update(&mut self, out: PotentialOutput) {
         let ke = kinetic_energy(&self.atoms);
         self.last = Thermo {
             step: self.step,
@@ -213,7 +265,6 @@ impl Simulation {
             pressure: pressure_bar(&self.atoms, &self.bx, ke, out.virial),
         };
         self.last_virial = out.virial;
-        out.energy
     }
 
     /// Advance one velocity-Verlet step.

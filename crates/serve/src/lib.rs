@@ -1,50 +1,76 @@
-//! # dpmd-serve — the multi-replica batch scheduler
+//! # dpmd-serve — batched multi-replica MD, fixed-fleet and continuous
 //!
-//! One process, R independent trajectories, one shared [`DpEngine`]. Each
-//! scheduler round admits up to `max_in_flight` not-yet-finished replicas
-//! (in replica order — that bound is the backpressure: replicas beyond it
-//! wait for a later round rather than queueing work), runs the first Verlet
-//! half of each admitted step, then evaluates **all admitted replicas'
-//! forces in one fused call** ([`DpEngine::energy_forces_batched`]) before
-//! completing their steps. The fused call stacks same-species fitting rows
-//! from every replica into single batched GEMMs and walks the embedding
-//! pass type-grouped across the whole batch — the paper's type-sorted
-//! batching, applied across replicas.
+//! One process, many independent trajectories, one shared [`DpEngine`].
+//! Each scheduler round runs the first Verlet half of every admitted
+//! replica, then evaluates **all admitted replicas' forces in one fused
+//! call** ([`DpEngine::energy_forces_batched`]) before completing their
+//! steps. The fused call stacks same-species fitting rows from every
+//! replica into single batched GEMMs and walks the embedding pass
+//! type-grouped across the whole batch — the paper's type-sorted batching,
+//! applied across replicas.
 //!
-//! **Determinism guarantee:** every replica's trajectory is bit-identical to
-//! the same replica stepped solo ([`BatchScheduler::run_sequential`]), at
-//! any batch size, `max_in_flight` bound, and thread-pool width. Batching
-//! changes *when* GEMMs run, never *what* they compute; the per-replica
-//! integration state never leaves its own `Simulation`. Enforced end-to-end
-//! by `tests/batch_determinism.rs`.
+//! Two front ends share that fused round:
+//!
+//! - [`BatchScheduler`] (module [`scheduler`]): a fixed fleet known up
+//!   front, stepped round-robin to completion. The bench baseline and the
+//!   determinism reference.
+//! - [`ContinuousScheduler`] (module [`continuous`]): a long-running
+//!   multi-tenant service. Tenants ([`tenant`]) attach and detach
+//!   mid-flight through a priority/deadline-ordered [`AdmissionQueue`]
+//!   ([`queue`]) with typed backpressure ([`AdmitError`]), driven by a
+//!   deterministic seed-derived arrival script ([`script`]) because wall
+//!   clocks are banned on deterministic paths (analyzer rule D4).
+//!
+//! **Determinism guarantee:** every replica/tenant trajectory is
+//! bit-identical to the same seed stepped solo
+//! ([`BatchScheduler::run_sequential`]), at any batch size, in-flight cap
+//! ([`InFlightCap`]), priority class, arrival schedule, and thread-pool
+//! width. Batching changes *when* GEMMs run, never *what* they compute;
+//! per-replica integration state never leaves its own `Simulation`.
+//! Enforced end-to-end by `tests/batch_determinism.rs` and
+//! `tests/serve_continuous.rs`.
 //!
 //! Metrics (when observing): `serve.replicas` (gauge), `serve.rounds` /
 //! `serve.steps` / `serve.batch.gemm.fused` / `serve.batch.gemm.fused_rows`
-//! (counters), and `serve.batch.occupancy` (histogram of replicas fused per
-//! round).
+//! (counters) and `serve.batch.occupancy` (histogram) from the fixed-fleet
+//! scheduler; `serve.cont.*` (rounds, steps, admissions, rejections,
+//! detaches, deadline_missed, occupancy), `serve.queue.depth` /
+//! `serve.queue.wait_rounds`, and per-tenant
+//! `serve.tenant.NNN.{steps,queue_wait_rounds}` from the continuous
+//! service. Occupancy histograms register their bucket edges once the cap
+//! and fleet are known, so full-batch rounds at the cap land in a dedicated
+//! bucket; idle (zero-admission) rounds are never recorded as occupancy.
 
 // Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
 // in dpmd-threads); everything else is safe Rust by construction.
 #![forbid(unsafe_code)]
 
+pub mod continuous;
+pub mod queue;
+pub mod scheduler;
+pub mod script;
+pub mod tenant;
+
+pub use continuous::{ContinuousScheduler, ScriptOutcome};
+pub use queue::{AdmissionQueue, AdmitError, InFlightCap, Priority, QueueEntry};
+pub use scheduler::{BatchScheduler, Replica};
+pub use script::ArrivalScript;
+pub use tenant::{Tenant, TenantSpec, TenantState};
+
 use std::sync::Arc;
 
-use deepmd::batch::{BatchJob, BatchWorkspace};
 use deepmd::engine::DpEngine;
-use dpmd_core::EngineParts;
-use dpmd_obs::{Counter, Histogram, MetricsRegistry, TraceBuffer, Unit};
 use minimd::atoms::Atoms;
 use minimd::neighbor::NeighborList;
 use minimd::potential::{ForcePhases, Potential, PotentialOutput};
-use minimd::sim::{Simulation, Thermo};
 use minimd::simbox::SimBox;
-use minimd::vec3::Vec3;
 
 /// A [`Potential`] that delegates to a shared engine, so many
-/// [`Simulation`]s can run over one set of weights. Used for each replica's
-/// initial force evaluation and for the sequential (solo) stepping path; the
-/// batched path bypasses `compute` and calls the engine directly.
-struct SharedDp(Arc<DpEngine>);
+/// [`Simulation`](minimd::sim::Simulation)s can run over one set of
+/// weights. Used for each replica's initial force evaluation and for the
+/// sequential (solo) stepping path; the batched path bypasses `compute`
+/// and calls the engine directly.
+pub(crate) struct SharedDp(pub(crate) Arc<DpEngine>);
 
 impl Potential for SharedDp {
     fn compute(&self, atoms: &mut Atoms, nl: &NeighborList, bx: &SimBox) -> PotentialOutput {
@@ -61,233 +87,5 @@ impl Potential for SharedDp {
 
     fn phase_times(&self) -> Option<ForcePhases> {
         self.0.last_phases()
-    }
-}
-
-/// One trajectory owned by the scheduler.
-pub struct Replica {
-    /// Replica index (also its position in the admission order).
-    pub id: usize,
-    /// The replica's seed (parts seed + id).
-    pub seed: u64,
-    /// The underlying simulation.
-    pub sim: Simulation,
-    /// Steps this replica should run in total.
-    pub target_steps: u64,
-    /// Thermo trace, one entry per completed step.
-    pub trace: Vec<Thermo>,
-}
-
-impl Replica {
-    /// Steps completed so far.
-    pub fn done_steps(&self) -> u64 {
-        self.trace.len() as u64
-    }
-
-    fn finished(&self) -> bool {
-        self.done_steps() >= self.target_steps
-    }
-}
-
-/// Metric handles registered by [`BatchScheduler::attach_obs`].
-struct ServeObs {
-    rounds: Counter,
-    steps: Counter,
-    fused_gemms: Counter,
-    fused_rows: Counter,
-    occupancy: Histogram,
-}
-
-/// Scheduler state: R replicas stepping through one shared engine.
-pub struct BatchScheduler {
-    engine: Arc<DpEngine>,
-    replicas: Vec<Replica>,
-    /// Admission bound per round (backpressure; `0` means "all").
-    max_in_flight: usize,
-    obs: Option<ServeObs>,
-    /// Stacked-buffer reuse across rounds (see
-    /// [`deepmd::batch::BatchWorkspace`]): the fused passes allocate their
-    /// intermediates once, not once per round.
-    workspace: BatchWorkspace,
-}
-
-impl BatchScheduler {
-    /// Build `replicas` trajectories over one engine from resolved engine
-    /// parts. Replica `r` uses seed `parts.seed + r` for its initial state,
-    /// so replicas are distinct but individually reproducible. The paper's
-    /// simulation settings (skin 2 Å, rebuild every 50 steps) match
-    /// `dpmd-core`'s solo engine.
-    pub fn new(parts: EngineParts, replicas: usize, steps_per_replica: u64) -> Self {
-        let mut dp = DpEngine::new(parts.model.clone(), parts.precision);
-        if let Some(n) = parts.threads {
-            dp = dp.with_pool(Arc::new(dpmd_threads::ThreadPool::new(n)));
-        }
-        if let Some((reg, _)) = &parts.obs {
-            dp.attach_obs(reg);
-        }
-        let engine = Arc::new(dp);
-        let mut parts = parts;
-        let base_seed = parts.seed;
-        let reps = (0..replicas)
-            .map(|id| {
-                parts.seed = base_seed + id as u64;
-                let (bx, atoms) = parts.initial_state();
-                let vv = parts.integrator();
-                let mut sim = Simulation::new(
-                    bx,
-                    atoms,
-                    Box::new(SharedDp(Arc::clone(&engine))),
-                    vv,
-                    2.0,
-                    50,
-                );
-                if let Some((reg, trace)) = &parts.obs {
-                    sim.attach_obs(reg, trace);
-                }
-                Replica {
-                    id,
-                    seed: parts.seed,
-                    sim,
-                    target_steps: steps_per_replica,
-                    trace: Vec::with_capacity(steps_per_replica as usize),
-                }
-            })
-            .collect();
-        let mut sched =
-            BatchScheduler {
-                engine,
-                replicas: reps,
-                max_in_flight: 0,
-                obs: None,
-                workspace: BatchWorkspace::new(),
-            };
-        if let Some((reg, trace)) = &parts.obs {
-            sched.attach_obs(reg, trace);
-        }
-        sched
-    }
-
-    /// Bound the number of replicas admitted per round (backpressure).
-    /// `0` (the default) admits every unfinished replica.
-    pub fn max_in_flight(mut self, k: usize) -> Self {
-        self.max_in_flight = k;
-        self
-    }
-
-    /// Register `serve.*` metrics on `reg`.
-    pub fn attach_obs(&mut self, reg: &MetricsRegistry, _trace: &TraceBuffer) {
-        reg.gauge("serve.replicas", Unit::Count).set(self.replicas.len() as u64);
-        self.obs = Some(ServeObs {
-            rounds: reg.counter("serve.rounds", Unit::Count),
-            steps: reg.counter("serve.steps", Unit::Count),
-            fused_gemms: reg.counter("serve.batch.gemm.fused", Unit::Count),
-            fused_rows: reg.counter("serve.batch.gemm.fused_rows", Unit::Count),
-            occupancy: reg.histogram("serve.batch.occupancy", Unit::Count, &[1, 2, 4, 8, 16, 32]),
-        });
-    }
-
-    /// The replicas (inspect trajectories/thermo after running).
-    pub fn replicas(&self) -> &[Replica] {
-        &self.replicas
-    }
-
-    /// The shared engine.
-    pub fn engine(&self) -> &DpEngine {
-        &self.engine
-    }
-
-    /// Step every replica to its target with fused batch evaluation.
-    /// Returns the number of scheduler rounds run.
-    pub fn run(&mut self) -> u64 {
-        let mut rounds = 0u64;
-        // Round scratch, allocated once and reused every round: the hot
-        // loop below runs once per step per fleet and must not allocate.
-        let mut admitted: Vec<usize> = Vec::new(); // dpmd-allow D5: round scratch, reused across rounds
-        let mut toks = Vec::new(); // dpmd-allow D5: round scratch, drained each round
-        let mut force_bufs: Vec<Vec<Vec3>> = Vec::new(); // dpmd-allow D5: round scratch, drained each round
-        loop {
-            // Admission: the first `max_in_flight` unfinished replicas, in
-            // replica order. Bounding here (rather than queueing every
-            // replica's step) is the backpressure: a replica past the bound
-            // simply isn't admitted until a slot frees up.
-            let bound = if self.max_in_flight == 0 { usize::MAX } else { self.max_in_flight };
-            admitted.clear();
-            admitted.extend(
-                self.replicas
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| !r.finished())
-                    .map(|(i, _)| i)
-                    .take(bound),
-            );
-            if admitted.is_empty() {
-                return rounds;
-            }
-            rounds += 1;
-
-            // Phase A: first Verlet half + neighbour maintenance, per
-            // replica, and hand the force buffers out of the atom arrays so
-            // the simulations can be borrowed immutably by the batch jobs.
-            for &ri in &admitted {
-                let r = &mut self.replicas[ri];
-                toks.push(r.sim.begin_step());
-                let mut f = std::mem::take(&mut r.sim.atoms.force);
-                f.fill(Vec3::ZERO);
-                force_bufs.push(f);
-            }
-
-            // Phase B: one fused force evaluation over every admitted
-            // replica.
-            let t_force = dpmd_obs::clock::wall_now();
-            let (outs, stats) = {
-                // The jobs borrow every admitted replica for the duration of
-                // the fused call, so the Vec cannot outlive the round.
-                let mut jobs: Vec<BatchJob<'_>> = admitted
-                    .iter()
-                    .zip(force_bufs.iter_mut())
-                    .map(|(&ri, forces)| {
-                        let sim = &self.replicas[ri].sim;
-                        BatchJob { atoms: &sim.atoms, nl: &sim.nl, bx: &sim.bx, forces }
-                    })
-                    .collect(); // dpmd-allow D5: per-round borrow of the replicas; cannot be stored across rounds
-                self.engine.energy_forces_batched_with(&mut jobs, &mut self.workspace)
-            };
-            let t_force_end = dpmd_obs::clock::wall_now();
-
-            // Phase C: restore forces and complete each admitted step. The
-            // per-replica wall split of a fused evaluation isn't separable,
-            // so each replica's series records the batch-aggregate phases.
-            for (((&ri, tok), buf), out) in
-                admitted.iter().zip(toks.drain(..)).zip(force_bufs.drain(..)).zip(outs)
-            {
-                let r = &mut self.replicas[ri];
-                r.sim.atoms.force = buf;
-                let thermo = r.sim.complete_step(out, stats.phases, (t_force, t_force_end), tok);
-                r.trace.push(thermo);
-            }
-
-            if let Some(o) = &self.obs {
-                o.rounds.inc();
-                o.steps.add(admitted.len() as u64);
-                o.fused_gemms.add(stats.fused_gemms);
-                o.fused_rows.add(stats.fused_rows);
-                o.occupancy.record(admitted.len() as u64);
-            }
-        }
-    }
-
-    /// Step every replica to its target one at a time through the solo
-    /// engine path — the determinism reference and the bench baseline the
-    /// batched path is compared against.
-    pub fn run_sequential(&mut self) -> u64 {
-        let mut steps = 0u64;
-        for r in &mut self.replicas {
-            while !r.finished() {
-                let thermo = r.sim.step();
-                r.trace.push(thermo);
-                steps += 1;
-            }
-        }
-        steps
     }
 }

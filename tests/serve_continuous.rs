@@ -1,0 +1,208 @@
+//! The continuous service's hard correctness bar: any arrival/departure
+//! schedule — staggered attach rounds, priority classes, deadlines,
+//! mid-flight pause/detach, bounded in-flight caps, bounded admission
+//! queues — leaves every tenant's trajectory bit-identical to the same
+//! seed stepped solo. Scheduling changes *when* a tenant's GEMM rows run,
+//! never *what* they compute.
+
+use dpmd_core::prelude::{DeepPotConfig, DeepPotModel, Precision};
+use dpmd_core::EngineBuilder;
+use dpmd_serve::{
+    ArrivalScript, BatchScheduler, ContinuousScheduler, InFlightCap, TenantState,
+};
+use proptest::prelude::*;
+
+fn parts(threads: usize) -> dpmd_core::EngineParts {
+    EngineBuilder::default()
+        .copper_cells(2)
+        .precision(Precision::Mix32)
+        .with_model(DeepPotModel::new(DeepPotConfig::tiny(1, 6.0)))
+        .seed(7)
+        .threads(threads)
+        .build_parts()
+}
+
+/// Solo traces for tenants `0..n` at `steps` each, via the sequential
+/// (unbatched) reference path. Seed mapping (`base + id`) matches the
+/// continuous scheduler's.
+fn solo_reference(threads: usize, n: usize, steps: u64) -> BatchScheduler {
+    let mut s = BatchScheduler::new(parts(threads), n, steps);
+    s.run_sequential();
+    s
+}
+
+/// Every non-rejected tenant must match its solo replica bit for bit:
+/// thermo trace and final positions/velocities.
+fn assert_tenants_bitwise_solo(served: &ContinuousScheduler, solo: &BatchScheduler, ctx: &str) {
+    for t in served.tenants() {
+        let r = &solo.replicas()[t.id];
+        assert_eq!(t.seed, r.seed, "{ctx}: tenant {} seed mapping", t.id);
+        assert!(
+            matches!(t.state, TenantState::Finished { .. }),
+            "{ctx}: tenant {} must finish (state {:?})",
+            t.id,
+            t.state
+        );
+        assert_eq!(t.trace.len(), r.trace.len(), "{ctx}: tenant {} trace length", t.id);
+        for (tb, ts) in t.trace.iter().zip(&r.trace) {
+            assert_eq!(tb.pe.to_bits(), ts.pe.to_bits(), "{ctx}: tenant {} step {} pe", t.id, tb.step);
+            assert_eq!(tb.ke.to_bits(), ts.ke.to_bits(), "{ctx}: tenant {} step {} ke", t.id, tb.step);
+            assert_eq!(
+                tb.pressure.to_bits(),
+                ts.pressure.to_bits(),
+                "{ctx}: tenant {} step {} pressure",
+                t.id,
+                tb.step
+            );
+        }
+        let (at, ar) = (&t.sim.atoms, &r.sim.atoms);
+        for i in 0..at.nlocal {
+            for d in 0..3 {
+                assert_eq!(
+                    at.pos[i][d].to_bits(),
+                    ar.pos[i][d].to_bits(),
+                    "{ctx}: tenant {} atom {i} pos[{d}]",
+                    t.id
+                );
+                assert_eq!(
+                    at.vel[i][d].to_bits(),
+                    ar.vel[i][d].to_bits(),
+                    "{ctx}: tenant {} atom {i} vel[{d}]",
+                    t.id
+                );
+            }
+        }
+    }
+}
+
+fn run_script_and_check(spec: &str, cap: InFlightCap, threads: usize, ctx: &str) {
+    let script = ArrivalScript::parse(spec).unwrap();
+    let mut served = ContinuousScheduler::new(parts(threads), cap, script.queue_capacity);
+    let outcome = served.run_script(&script);
+    assert!(outcome.rejected.is_empty(), "{ctx}: no rejections expected in this script");
+    assert_eq!(served.tenants().len(), script.tenants, "{ctx}: all tenants attached");
+    let solo = solo_reference(threads, script.tenants, script.steps);
+    assert_tenants_bitwise_solo(&served, &solo, ctx);
+}
+
+/// Acceptance: three distinct fixed arrival schedules — staggered seeded
+/// arrivals, priority classes with deadlines, and a mid-flight pause — all
+/// bit-identical to solo.
+#[test]
+fn fixed_schedule_staggered_arrivals_bitwise_solo() {
+    run_script_and_check(
+        "seed=3;tenants=5;steps=6;window=4",
+        InFlightCap::All,
+        1,
+        "staggered arrivals",
+    );
+}
+
+#[test]
+fn fixed_schedule_priorities_and_deadlines_bitwise_solo() {
+    run_script_and_check(
+        "seed=9;tenants=5;steps=6;window=3;prio=4:interactive;prio=0:batch;deadline=2@4;deadline=3@20",
+        "2".parse().unwrap(),
+        1,
+        "priorities+deadlines under cap 2",
+    );
+}
+
+#[test]
+fn fixed_schedule_midflight_pause_bitwise_solo() {
+    run_script_and_check(
+        "seed=1;tenants=4;steps=8;window=2;pause=1@4+3;pause=2@5+2",
+        "3".parse().unwrap(),
+        1,
+        "mid-flight pause/detach",
+    );
+}
+
+/// The same schedule at a different thread-pool width must also match the
+/// single-threaded solo reference (thread count is bitwise invisible).
+#[test]
+fn threads_are_bitwise_invisible_to_the_service() {
+    let spec = "seed=5;tenants=4;steps=5;window=3;pause=0@3+2";
+    let script = ArrivalScript::parse(spec).unwrap();
+    let mut served = ContinuousScheduler::new(parts(4), "2".parse().unwrap(), usize::MAX);
+    served.run_script(&script);
+    let solo = solo_reference(1, script.tenants, script.steps);
+    assert_tenants_bitwise_solo(&served, &solo, "4 threads vs solo 1 thread");
+}
+
+/// A full admission queue refuses attach with typed backpressure — no
+/// panic, no silent queueing — and the survivors still match solo.
+#[test]
+fn backpressure_rejects_typed_and_survivors_stay_bitwise() {
+    let script = ArrivalScript::parse("tenants=6;steps=4;at=0@1;at=1@1;at=2@1;at=3@1;at=4@1;at=5@1;queue=3").unwrap();
+    let mut served =
+        ContinuousScheduler::new(parts(1), "1".parse().unwrap(), script.queue_capacity);
+    let outcome = served.run_script(&script);
+    assert_eq!(outcome.rejected, vec![3, 4, 5], "arrivals past the queue bound are refused");
+    assert_eq!(served.tenants().len(), 3);
+    let solo = solo_reference(1, 3, script.steps);
+    assert_tenants_bitwise_solo(&served, &solo, "backpressure survivors");
+}
+
+#[test]
+fn attach_backpressure_is_a_typed_error() {
+    use dpmd_serve::{AdmitError, TenantSpec};
+    let mut served = ContinuousScheduler::new(parts(1), InFlightCap::All, 2);
+    served.attach(TenantSpec::new(0, 2)).unwrap();
+    served.attach(TenantSpec::new(1, 2)).unwrap();
+    let err = served.attach(TenantSpec::new(2, 2)).unwrap_err();
+    assert_eq!(err, AdmitError::Backpressure { capacity: 2, waiting: 2 });
+    assert_eq!(served.tenants().len(), 2, "a refused attach creates no tenant state");
+}
+
+/// Priority classes and deadlines control admission order (interactive
+/// first, then EDF within a class) without touching any trajectory.
+#[test]
+fn admission_order_respects_class_then_deadline() {
+    let script = ArrivalScript::parse(
+        "tenants=4;steps=3;at=0@1;at=1@1;at=2@1;at=3@1;prio=3:interactive;prio=0:batch;deadline=2@5;deadline=1@9",
+    )
+    .unwrap();
+    let mut served = ContinuousScheduler::new(parts(1), "1".parse().unwrap(), usize::MAX);
+    served.run_script(&script);
+    let admitted: Vec<(usize, u64)> = served
+        .tenants()
+        .iter()
+        .map(|t| (t.id, t.admitted_round.expect("all admitted")))
+        .collect();
+    let round_of = |id: usize| admitted.iter().find(|(i, _)| *i == id).unwrap().1;
+    assert!(round_of(3) < round_of(2), "interactive admits before standard");
+    assert!(round_of(2) < round_of(1), "earlier deadline admits first within a class");
+    assert!(round_of(1) < round_of(0), "batch class admits last");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: a random schedule (seeded arrivals, random caps, random
+    /// pause windows, random queue bounds) leaves every attached tenant
+    /// bitwise identical to its solo trajectory.
+    #[test]
+    fn any_schedule_is_bitwise_invisible(
+        seed in 0u64..1000,
+        tenants in 2usize..6,
+        steps in 2u64..7,
+        window in 1u64..5,
+        cap_k in 0usize..4, // 0 = All
+        pause_id in 0usize..6,
+        pause_round in 2u64..5,
+        pause_len in 1u64..4,
+    ) {
+        let mut spec = format!("seed={seed};tenants={tenants};steps={steps};window={window}");
+        if pause_id < tenants {
+            spec.push_str(&format!(";pause={pause_id}@{pause_round}+{pause_len}"));
+        }
+        let cap = if cap_k == 0 { InFlightCap::All } else { InFlightCap::from_legacy_count(cap_k) };
+        let script = ArrivalScript::parse(&spec).unwrap();
+        let mut served = ContinuousScheduler::new(parts(1), cap, usize::MAX);
+        let outcome = served.run_script(&script);
+        prop_assert!(outcome.rejected.is_empty());
+        let solo = solo_reference(1, tenants, steps);
+        assert_tenants_bitwise_solo(&served, &solo, &format!("prop {spec} cap {cap}"));
+    }
+}
