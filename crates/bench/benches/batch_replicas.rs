@@ -5,20 +5,24 @@
 //!
 //! Both modes produce bit-identical trajectories (enforced by
 //! `tests/batch_determinism.rs`), so this measures pure scheduling/fusion
-//! throughput, not an accuracy trade. The batched win on a serving-sized
-//! model comes from (a) one fused transcendental per activation instead of
-//! two, and (b) the reused [`BatchWorkspace`] killing per-round allocator
-//! churn; production-sized fitting nets (240³) are GEMM-flop-bound on this
-//! host and gain less, which the secondary config records.
+//! throughput, not an accuracy trade. Since the solo engine gained the same
+//! type-sorted embedding GEMMs, fused activations, and native SIMD dispatch
+//! the batch path uses, the batched margin is *cross-replica* fusion only:
+//! stacked fitting-net rows and the reused [`BatchWorkspace`] killing
+//! per-round allocator churn. The tiny serving model is now near parity
+//! (gated as a no-regression bar); the production-sized fitting nets (240³)
+//! still amortize GEMM setup across replicas and keep a real margin.
 //!
 //! Measurement is interleaved best-of-N because CI hosts are noisy: each
 //! rep rebuilds both schedulers from identical [`EngineParts`] and times a
 //! full sequential pass against a full batched pass back to back.
 //!
 //! Emits `BENCH_batch.json` at the repo root — the acceptance records are
-//! `speedup ≥ 1.5` for the headline (`cu_serving`) entry and `≥ 1.45` for
-//! `cu_production_continuous` (the production model served through the
-//! continuous-batching front end, staggered arrivals included).
+//! committed measurements minus host-noise slack: `≥ 0.95` (no regression)
+//! for `cu_serving`, `≥ 1.2` for `cu_production` (fixed fleet, production
+//! model), and `≥ 1.2` for `cu_production_continuous` (the production model
+//! served through the continuous-batching front end, staggered arrivals
+//! included). All three rows are gated in CI.
 
 use std::time::Instant;
 
@@ -66,8 +70,8 @@ fn parts(cfg: &Config) -> dpmd_core::EngineParts {
 
 fn main() {
     let configs = [
-        // Headline: a serving-sized Cu model — the regime the batch
-        // scheduler exists for (many light replicas, fusion-bound).
+        // Serving-sized Cu model: the solo engine's own fusion closed the
+        // gap here, so this row gates "batching never costs throughput".
         Config {
             name: "cu_serving",
             model: DeepPotConfig::tiny(1, 6.0),
@@ -75,8 +79,9 @@ fn main() {
             steps: 30,
             script: None,
         },
-        // Production-sized fitting net (240^3): GEMM-flop-bound, so the
-        // batched margin is structurally smaller. Recorded, not gated.
+        // Production-sized fitting net (240^3): cross-replica row stacking
+        // still pays. Gated at >= 1.2x (the committed measurement minus
+        // host-noise slack).
         Config {
             name: "cu_production",
             model: DeepPotConfig::copper(),
@@ -87,7 +92,7 @@ fn main() {
         // The production model under the continuous-batching service:
         // tenants arrive staggered over the first rounds and the admission
         // queue keeps the fused batch full until the tail drains. Gated in
-        // CI at >= 1.45x over the same tenants stepped sequentially.
+        // CI at >= 1.2x over the same tenants stepped sequentially.
         Config {
             name: "cu_production_continuous",
             model: DeepPotConfig::copper(),
@@ -173,8 +178,9 @@ fn main() {
         (
             "acceptance",
             Value::Array(vec![
-                obj(vec![("config", s("cu_serving")), ("min_speedup", num(1.5))]),
-                obj(vec![("config", s("cu_production_continuous")), ("min_speedup", num(1.45))]),
+                obj(vec![("config", s("cu_serving")), ("min_speedup", num(0.95))]),
+                obj(vec![("config", s("cu_production")), ("min_speedup", num(1.2))]),
+                obj(vec![("config", s("cu_production_continuous")), ("min_speedup", num(1.2))]),
             ]),
         ),
         ("configs", Value::Array(entries)),

@@ -103,6 +103,16 @@ fn parse_in_flight(args: &[String]) -> Result<dpmd_serve::InFlightCap, String> {
 }
 
 /// `dpmd md batch`: the multi-replica batch scheduler surface.
+/// One-line precision/kernel banner for the `md` surfaces: which dispatch
+/// class the process's f32 GEMM hot path selected (scalar / avx2 / neon —
+/// the `double` path never touches it; `DPMD_FORCE_SCALAR=1` pins scalar).
+fn print_dispatch_class(precision: &str) {
+    println!(
+        "precision: {precision}, fp32-gemm dispatch class: {}",
+        nnet::gemm::dispatch::active_class().tag()
+    );
+}
+
 fn run_md_batch(args: &[String]) -> bool {
     let replicas = parse_flag(args, "--replicas", 4);
     let steps = parse_flag(args, "--steps", 10) as u64;
@@ -139,6 +149,7 @@ fn run_md_batch(args: &[String]) -> bool {
             builder = builder.threads(n);
         }
     }
+    print_dispatch_class(flag_value(args, "--precision").map(String::as_str).unwrap_or("fp32"));
     let ntypes = if water { 2 } else { 1 };
     let parts =
         builder.with_model(DeepPotModel::new(DeepPotConfig::tiny(ntypes, 6.0))).build_parts();
@@ -223,6 +234,7 @@ fn run_md_serve(args: &[String]) -> bool {
             builder = builder.threads(n);
         }
     }
+    print_dispatch_class(flag_value(args, "--precision").map(String::as_str).unwrap_or("fp32"));
     let ntypes = if water { 2 } else { 1 };
     let parts =
         builder.with_model(DeepPotModel::new(DeepPotConfig::tiny(ntypes, 6.0))).build_parts();
@@ -409,6 +421,7 @@ fn run_md(args: &[String]) -> bool {
         if water { "water" } else { "copper" },
         engine.timestep_fs(),
     );
+    print_dispatch_class(flag_value(args, "--precision").map(String::as_str).unwrap_or("double"));
 
     if timing {
         println!(

@@ -418,18 +418,6 @@ impl DpEngine {
                 ws.put32(svals);
                 continue;
             }
-            // Augmented per-layer weights `[bias ; W]`, shared by the value
-            // and tangent GEMMs.
-            let aug: Vec<Vec<f32>> = emb_net
-                .layers
-                .iter()
-                .map(|(w, b, _, _, _, _)| {
-                    let mut m = Vec::with_capacity(b.len() + w.len());
-                    m.extend_from_slice(b);
-                    m.extend_from_slice(w);
-                    m
-                })
-                .collect();
             for (chunk_locs, chunk_s) in locs.chunks(EMB_CHUNK).zip(svals.chunks(EMB_CHUNK)) {
                 let rows = chunk_locs.len();
                 // Stacked value rows `[1, s]` and tangent rows `[0, 1]`,
@@ -441,7 +429,7 @@ impl DpEngine {
                     val[r * 2 + 1] = s;
                     tan[r * 2 + 1] = 1.0;
                 }
-                for ((_, _, act, resnet, ind, outd), baug) in emb_net.layers.iter().zip(&aug) {
+                for ((_, _, act, resnet, ind, outd), baug) in emb_net.layers.iter().zip(&emb_net.aug) {
                     let (ind, outd) = (*ind, *outd);
                     let mut pre = ws.take32(rows * outd);
                     let mut dpre = ws.take32(rows * outd);
@@ -748,32 +736,41 @@ mod tests {
     }
 
     /// The augmented-column trick the stacked embedding GEMMs rest on:
-    /// a row `[1, v…]` against `[bias ; W]` through the kernel's zero-seeded
-    /// ascending-k fold must reproduce the solo bias-seeded accumulation
-    /// `((b + v0·w0) + v1·w1) + …` bit for bit.
+    /// a row `[1, v…]` against `[bias ; W]` through a kernel's zero-seeded
+    /// ascending-k fold must reproduce the bias-seeded accumulation
+    /// `((b + v0·w0) + v1·w1) + …` bit for bit — in *each* dispatch class,
+    /// with the class's own rounding regime (two roundings per step on the
+    /// scalar class, one fused rounding on the SIMD classes).
     #[test]
     fn augmented_column_reproduces_bias_seeded_fold() {
+        use nnet::gemm::dispatch::{self, DispatchClass};
+
         let (ind, outd) = (7, 13);
         let h = |i: u64| ((i.wrapping_mul(0x9e3779b97f4a7c15) >> 17) & 0xffff) as f32 / 65536.0 - 0.5;
         let w: Vec<f32> = (0..ind * outd).map(|i| h(i as u64)).collect();
         let b: Vec<f32> = (0..outd).map(|i| h(1000 + i as u64)).collect();
         let v: Vec<f32> = (0..ind).map(|i| h(2000 + i as u64)).collect();
 
-        // Solo order: seed with the bias, accumulate ascending-i.
-        let mut solo = b.clone();
-        for i in 0..ind {
-            for (o, s) in solo.iter_mut().enumerate() {
-                *s += v[i] * w[i * outd + o];
-            }
-        }
-
         let mut aug_b = b.clone();
         aug_b.extend_from_slice(&w);
         let mut row = vec![1.0f32];
         row.extend_from_slice(&v);
-        let mut c = vec![0.0f32; outd];
-        gemm::batched_nn_f32(1, 1, outd, ind + 1, &row, &aug_b, &mut c);
-        assert_eq!(solo, c);
+
+        for kernel in [dispatch::scalar(), dispatch::active()] {
+            // Bias-seeded reference in this class's rounding regime,
+            // accumulating ascending-i like every kernel's k-fold.
+            let fused = kernel.class() != DispatchClass::Scalar;
+            let mut solo = b.clone();
+            for i in 0..ind {
+                for (o, s) in solo.iter_mut().enumerate() {
+                    *s = if fused { v[i].mul_add(w[i * outd + o], *s) } else { *s + v[i] * w[i * outd + o] };
+                }
+            }
+
+            let mut c = vec![0.0f32; outd];
+            kernel.nn_f32(1, outd, ind + 1, &row, &aug_b, &mut c);
+            assert_eq!(solo, c, "class {:?}", kernel.class());
+        }
     }
 
     /// Two species (water): the type-sorted grouping must respect per-atom

@@ -23,7 +23,7 @@ use minimd::simbox::SimBox;
 use minimd::vec3::Vec3;
 use nnet::activation::Activation;
 use nnet::f16::F16;
-use nnet::gemm::simd;
+use nnet::gemm::{self, simd};
 use nnet::layers::Resnet;
 use nnet::precision::Precision;
 use nnet::stats::{GemmTally, PrecClass};
@@ -34,15 +34,22 @@ use crate::model::DeepPotModel;
 /// One embedding layer: (w in×out, b, act, resnet, in, out).
 pub(crate) type EmbLayer32 = (Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize);
 
-/// One embedding net with weights cast to f32.
+/// One embedding net with weights cast to f32, plus the augmented per-layer
+/// matrices `[bias ; W]` (shape `(ind+1)×outd`), built once at engine
+/// construction — the paper's initialization-phase preprocessing — and
+/// shared by the solo and batched embedding passes: both run zero-seeded
+/// augmented GEMMs (value rows `[1, v…]`, tangent rows `[0, t…]`) so the
+/// kernel's ascending-k fold reproduces the bias-seeded accumulation of the
+/// historical per-entry loop bit for bit within each dispatch class.
 #[derive(Clone, Debug)]
 pub(crate) struct Emb32 {
     pub(crate) layers: Vec<EmbLayer32>,
+    pub(crate) aug: Vec<Vec<f32>>,
 }
 
 impl Emb32 {
     fn from_model(net: &crate::embedding::EmbeddingNet) -> Self {
-        let layers = net
+        let layers: Vec<EmbLayer32> = net
             .mlp
             .layers
             .iter()
@@ -57,60 +64,17 @@ impl Emb32 {
                 )
             })
             .collect();
-        Emb32 { layers }
+        let aug = layers
+            .iter()
+            .map(|(w, b, _, _, _, _): &EmbLayer32| {
+                let mut m = Vec::with_capacity(b.len() + w.len());
+                m.extend_from_slice(b);
+                m.extend_from_slice(w);
+                m
+            })
+            .collect();
+        Emb32 { layers, aug }
     }
-
-    /// f32 forward-mode value + derivative at scalar input `s`.
-    fn forward_with_grad(&self, s: f32, tally: Option<&GemmTally>) -> (Vec<f32>, Vec<f32>) {
-        let mut val = vec![s];
-        let mut tan = vec![1.0f32];
-        for (w, b, act, resnet, ind, outd) in &self.layers {
-            if let Some(t) = tally {
-                // Value + tangent matvecs run fused below; count one
-                // GEMM-equivalent per layer.
-                t.record(1, *outd, *ind, PrecClass::F32);
-            }
-            let mut pre = b.clone();
-            let mut dpre = vec![0.0f32; *outd];
-            for i in 0..*ind {
-                let vi = val[i];
-                let ti = tan[i];
-                let row = &w[i * outd..(i + 1) * outd];
-                for (o, &wv) in row.iter().enumerate() {
-                    pre[o] += vi * wv;
-                    dpre[o] += ti * wv;
-                }
-            }
-            let mut out = vec![0.0f32; *outd];
-            let mut dout = vec![0.0f32; *outd];
-            for o in 0..*outd {
-                out[o] = act.apply_f32(pre[o]);
-                // act' computed in f32 from the f32 pre-activation.
-                dout[o] = (act.derivative(pre[o] as f64) as f32) * dpre[o];
-            }
-            match resnet {
-                Resnet::None => {}
-                Resnet::Identity => {
-                    for i in 0..*ind {
-                        out[i] += val[i];
-                        dout[i] += tan[i];
-                    }
-                }
-                Resnet::Doubling => {
-                    for i in 0..*ind {
-                        out[i] += val[i];
-                        out[i + ind] += val[i];
-                        dout[i] += tan[i];
-                        dout[i + ind] += tan[i];
-                    }
-                }
-            }
-            val = out;
-            tan = dout;
-        }
-        (val, tan)
-    }
-
 }
 
 /// One fitting layer: (w in×out, wᵀ out×in, b, act, resnet, in, out).
@@ -166,7 +130,7 @@ impl Fit32 {
                     t.record(1, *outd, *ind, PrecClass::F16);
                 }
             } else {
-                simd::gemm_nn_f32(1, *outd, *ind, &x, w, &mut pre);
+                gemm::auto_nn_f32(1, *outd, *ind, &x, w, &mut pre);
                 if let Some(t) = tally {
                     t.record(1, *outd, *ind, PrecClass::F32);
                 }
@@ -211,7 +175,7 @@ impl Fit32 {
                     t.record(1, *ind, *outd, PrecClass::F16);
                 }
             } else {
-                simd::gemm_nn_f32(1, *ind, *outd, &dpre, wt, &mut dx);
+                gemm::auto_nn_f32(1, *ind, *outd, &dpre, wt, &mut dx);
                 if let Some(t) = tally {
                     t.record(1, *ind, *outd, PrecClass::F32);
                 }
@@ -234,6 +198,22 @@ impl Fit32 {
         let _ = &inputs;
         (energy, g)
     }
+}
+
+/// Reusable buffers of the type-sorted f32 embedding pass: one instance per
+/// worker chunk, so the per-atom GEMM staging allocates only on growth.
+#[derive(Default)]
+pub(crate) struct EmbScratch {
+    /// Entry positions of the type currently being batched.
+    idx: Vec<u32>,
+    /// Augmented value rows, stride `width + 1` (column 0 carries the 1).
+    val: Vec<f32>,
+    /// Augmented tangent rows, stride `width + 1` (column 0 carries the 0).
+    tan: Vec<f32>,
+    pre: Vec<f32>,
+    dpre: Vec<f32>,
+    val_next: Vec<f32>,
+    tan_next: Vec<f32>,
 }
 
 /// Per-atom intermediates of the f32 embedding pass (Mix32/Mix16 paths).
@@ -307,11 +287,9 @@ impl DpEngine {
                 }
             }
         }
-        for emb in &self.emb32 {
-            for (_, _, _, _, ind, outd) in &emb.layers {
-                shapes.push((1, *outd, *ind, PrecClass::F32));
-            }
-        }
+        // Embedding GEMMs are type-sorted with data-dependent row counts, so
+        // they have no fixed exact shape to pre-register; the always-on
+        // per-precision M-class counters of the tally cover them.
         self.obs = Some(DpObs {
             evals: [
                 reg.counter("deepmd.eval.fp64.calls", Unit::Count),
@@ -349,26 +327,114 @@ impl DpEngine {
         self.energy_forces(atoms, nl, bx, &mut forces).energy
     }
 
-    /// f32 embedding pass for one atom (Mix32/Mix16).
-    fn embed_atom32(&self, env: &crate::descriptor::Environment) -> AtomEmbed32 {
+    /// f32 embedding pass for one atom (Mix32/Mix16), **type-sorted**: the
+    /// environment's same-type entries stack into one augmented GEMM pair
+    /// per layer (value rows `[1, s]`, tangent rows `[0, 1]`, weights
+    /// `[bias ; W]` from [`Emb32::aug`]), dispatched to the process's active
+    /// kernel class — the paper's "sort environment matrices by type so one
+    /// GEMM serves all same-type neighbours". Row independence of every
+    /// kernel class makes the grouping bitwise-invisible, and on the scalar
+    /// class the zero-seeded augmented fold reproduces the historical
+    /// bias-seeded per-entry loop bit for bit. The order-sensitive T
+    /// accumulation then replays in original entry order, unchanged.
+    fn embed_atom32(&self, env: &crate::descriptor::Environment, scratch: &mut EmbScratch) -> AtomEmbed32 {
         let m1 = self.model.config.m1();
         let inv_nm = 1.0f32 / self.model.config.nmax as f32;
         let n = env.entries.len();
-        let mut g = vec![0.0f32; n * m1];
-        let mut dg_ds = vec![0.0f32; n * m1];
-        let mut t = vec![0.0f32; m1 * 4];
-        let mut coords = vec![[0.0f32; 4]; n];
+        let mut g = vec![0.0f32; n * m1]; // dpmd-allow D5: per-atom result storage, returned in AtomEmbed32
+        let mut dg_ds = vec![0.0f32; n * m1]; // dpmd-allow D5: per-atom result storage, returned in AtomEmbed32
+        let mut t = vec![0.0f32; m1 * 4]; // dpmd-allow D5: per-atom result storage, returned in AtomEmbed32
+        let mut coords = vec![[0.0f32; 4]; n]; // dpmd-allow D5: per-atom result storage, returned in AtomEmbed32
         let tally = self.obs.as_ref().map(|o| &o.gemm);
+        for (ty, emb_net) in self.emb32.iter().enumerate() {
+            scratch.idx.clear();
+            scratch.idx.extend(
+                env.entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.typ as usize == ty)
+                    .map(|(k, _)| k as u32),
+            );
+            let rows = scratch.idx.len();
+            if rows == 0 {
+                continue;
+            }
+            scratch.val.clear();
+            scratch.val.resize(rows * 2, 0.0);
+            scratch.tan.clear();
+            scratch.tan.resize(rows * 2, 0.0);
+            for (r, &k) in scratch.idx.iter().enumerate() {
+                scratch.val[r * 2] = 1.0;
+                scratch.val[r * 2 + 1] = env.entries[k as usize].s as f32;
+                scratch.tan[r * 2 + 1] = 1.0;
+            }
+            for ((_, _, act, resnet, ind, outd), baug) in emb_net.layers.iter().zip(&emb_net.aug) {
+                let (ind, outd) = (*ind, *outd);
+                scratch.pre.clear();
+                scratch.pre.resize(rows * outd, 0.0);
+                scratch.dpre.clear();
+                scratch.dpre.resize(rows * outd, 0.0);
+                gemm::batched_nn_f32(rows, 1, outd, ind + 1, &scratch.val, baug, &mut scratch.pre);
+                gemm::batched_nn_f32(rows, 1, outd, ind + 1, &scratch.tan, baug, &mut scratch.dpre);
+                if let Some(tl) = tally {
+                    tl.record(rows, outd, ind + 1, PrecClass::F32);
+                    tl.record(rows, outd, ind + 1, PrecClass::F32);
+                }
+                scratch.val_next.clear();
+                scratch.val_next.resize(rows * (outd + 1), 0.0);
+                scratch.tan_next.clear();
+                scratch.tan_next.resize(rows * (outd + 1), 0.0);
+                for r in 0..rows {
+                    let prer = &scratch.pre[r * outd..(r + 1) * outd];
+                    let dprer = &scratch.dpre[r * outd..(r + 1) * outd];
+                    let vo = &mut scratch.val_next[r * (outd + 1)..(r + 1) * (outd + 1)];
+                    let to = &mut scratch.tan_next[r * (outd + 1)..(r + 1) * (outd + 1)];
+                    vo[0] = 1.0;
+                    for o in 0..outd {
+                        let (v, dfac) = act.value_grad_f32(prer[o]);
+                        vo[1 + o] = v;
+                        to[1 + o] = (dfac as f32) * dprer[o];
+                    }
+                    let vi = &scratch.val[r * (ind + 1)..(r + 1) * (ind + 1)];
+                    let ti = &scratch.tan[r * (ind + 1)..(r + 1) * (ind + 1)];
+                    match resnet {
+                        Resnet::None => {}
+                        Resnet::Identity => {
+                            for i in 0..ind {
+                                vo[1 + i] += vi[1 + i];
+                                to[1 + i] += ti[1 + i];
+                            }
+                        }
+                        Resnet::Doubling => {
+                            for i in 0..ind {
+                                vo[1 + i] += vi[1 + i];
+                                vo[1 + i + ind] += vi[1 + i];
+                                to[1 + i] += ti[1 + i];
+                                to[1 + i + ind] += ti[1 + i];
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut scratch.val, &mut scratch.val_next);
+                std::mem::swap(&mut scratch.tan, &mut scratch.tan_next);
+            }
+            // Scatter the final rows (stride m1+1; column 0 is the
+            // augmentation) back to entry positions.
+            for (r, &k) in scratch.idx.iter().enumerate() {
+                let (k, off) = (k as usize, r * (m1 + 1) + 1);
+                g[k * m1..(k + 1) * m1].copy_from_slice(&scratch.val[off..off + m1]);
+                dg_ds[k * m1..(k + 1) * m1].copy_from_slice(&scratch.tan[off..off + m1]);
+            }
+        }
+        // T accumulation in entry order (the only order-sensitive reduction).
         for (k, e) in env.entries.iter().enumerate() {
-            let (gv, dgv) = self.emb32[e.typ as usize].forward_with_grad(e.s as f32, tally);
             let c64 = e.coords();
             let c = [c64[0] as f32, c64[1] as f32, c64[2] as f32, c64[3] as f32];
             coords[k] = c;
             for m in 0..m1 {
-                g[k * m1 + m] = gv[m];
-                dg_ds[k * m1 + m] = dgv[m];
-                for cc in 0..4 {
-                    t[m * 4 + cc] += gv[m] * c[cc] * inv_nm;
+                let gv = g[k * m1 + m];
+                for (cc, &cv) in c.iter().enumerate() {
+                    t[m * 4 + cc] += gv * cv * inv_nm;
                 }
             }
         }
@@ -421,7 +487,10 @@ impl DpEngine {
             pool.scope(|sc| {
                 for (range, part) in chunks.iter().zip(emb_parts.iter_mut()) {
                     let range = range.clone(); // dpmd-allow D5: Range<usize> clone is a two-word copy, no heap
-                    sc.spawn(move || part.extend(range.map(|i| self.embed_atom32(&envs[i]))));
+                    sc.spawn(move || {
+                        let mut scratch = EmbScratch::default(); // dpmd-allow D5: one scratch per chunk, reused across the chunk's atoms
+                        part.extend(range.map(|i| self.embed_atom32(&envs[i], &mut scratch)));
+                    });
                 }
             });
         }

@@ -21,8 +21,16 @@
 //!
 //! [`auto_nn_f32`]/[`auto_nn_f64`] reproduce the paper's dispatch rule:
 //! sve-gemm when `m ≤ 3`, BLAS otherwise.
+//!
+//! On top of the shape rule sits **runtime class dispatch** ([`dispatch`]):
+//! the f32 hot path runs on explicit AVX2/NEON microkernels from `dpmd-simd`
+//! when the CPU has them, and on the portable kernels above otherwise (or
+//! when `DPMD_FORCE_SCALAR` pins the scalar class). Determinism is bitwise
+//! within each dispatch class; see the `dispatch` module docs for the exact
+//! contract and for why `auto_nn_f64` stays on the scalar class.
 
 pub mod blocked;
+pub mod dispatch;
 pub mod naive;
 pub mod simd;
 
@@ -36,7 +44,11 @@ pub fn flops(m: usize, n: usize, k: usize) -> u64 {
     2 * m as u64 * n as u64 * k as u64
 }
 
-/// Which kernel family executed a dispatched GEMM (for instrumentation).
+/// Which shape family the paper's dispatch rule put a GEMM in (for
+/// instrumentation): `Sve` is the tall-and-skinny `m ≤ 3` family, `Blocked`
+/// the BLAS-shaped rest. The *instruction class* that actually executed the
+/// call (scalar vs AVX2 vs NEON) is process-wide and reported separately by
+/// [`dispatch::active_class`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelKind {
     /// Textbook triple loop.
@@ -47,26 +59,33 @@ pub enum KernelKind {
     Sve,
 }
 
-/// `C = A·B` in f64 with the paper's dispatch rule; returns the kernel used.
-pub fn auto_nn_f64(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64]) -> KernelKind {
+/// Shape family of the paper's dispatch rule for an `m`-row GEMM.
+#[inline]
+fn shape_family(m: usize) -> KernelKind {
     if m <= SVE_GEMM_M_THRESHOLD {
-        simd::gemm_nn_f64(m, n, k, a, b, c);
         KernelKind::Sve
     } else {
-        blocked::gemm_nn_f64(m, n, k, a, b, c);
         KernelKind::Blocked
     }
 }
 
-/// `C = A·B` in f32 with the paper's dispatch rule; returns the kernel used.
+/// `C = A·B` in f64 with the paper's shape rule; returns the family used.
+///
+/// Deliberately pinned to the scalar class (never the native SIMD kernels):
+/// this entry point backs the f64 reference/training executors, whose
+/// contract is bitwise equality with the naive graph interpreter on every
+/// machine. The dispatched f64 kernels are reachable via [`dispatch`].
+pub fn auto_nn_f64(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64]) -> KernelKind {
+    dispatch::scalar().nn_f64(m, n, k, a, b, c);
+    shape_family(m)
+}
+
+/// `C = A·B` in f32 on the process's active dispatch class (native SIMD
+/// kernels when available, scalar otherwise or under `DPMD_FORCE_SCALAR`);
+/// returns the shape family of the paper's dispatch rule.
 pub fn auto_nn_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> KernelKind {
-    if m <= SVE_GEMM_M_THRESHOLD {
-        simd::gemm_nn_f32(m, n, k, a, b, c);
-        KernelKind::Sve
-    } else {
-        blocked::gemm_nn_f32(m, n, k, a, b, c);
-        KernelKind::Blocked
-    }
+    dispatch::active().nn_f32(m, n, k, a, b, c);
+    shape_family(m)
 }
 
 // ---------------------------------------------------------------------------
@@ -85,6 +104,11 @@ pub fn auto_nn_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [
 // equals the concatenation of the per-call results bit for bit, at any batch
 // size and under either dispatch outcome. `tests::stacked_rows_are_bitwise_
 // kernel_invariant` enforces this property.
+//
+// The explicit-SIMD classes in `dpmd-simd` keep the same row independence
+// (their fold is ascending-p fused multiply-add, never dependent on `m` or
+// tiling), so batched == per-call holds bit for bit on every dispatch class
+// — only the *cross-class* results differ (one rounding vs two per step).
 
 /// Batched `C = A·B` in f64: `batch` stacked calls of shape `m×n×k` sharing
 /// `B`, dispatched as one `(batch·m)×n×k` GEMM. Bitwise equal to calling

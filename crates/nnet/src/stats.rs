@@ -55,12 +55,37 @@ pub fn shape_key(m: usize, n: usize, k: usize, p: PrecClass) -> u64 {
     ((m as u64 & 0xFFFF) << 34) | ((n as u64 & 0xFFFF) << 18) | ((k as u64 & 0xFFFF) << 2) | p.bits()
 }
 
+/// M-dimension shape classes of the dispatch rule, from the dedicated
+/// tall-skinny rows up to large stacked panels. The class tally (always
+/// registered, independent of the exact-shape slots) is what shows the
+/// call-count shift when type-sorting batches per-neighbour matvecs into
+/// multi-row GEMMs.
+const M_CLASS_TAGS: [&str; 6] = ["m1", "m2", "m3", "m4_8", "m9_64", "m65p"];
+
+#[inline]
+fn m_class(m: usize) -> usize {
+    match m {
+        0 | 1 => 0,
+        2 => 1,
+        3 => 2,
+        4..=8 => 3,
+        9..=64 => 4,
+        _ => 5,
+    }
+}
+
 /// Pre-registered per-shape GEMM call counters plus an `other` overflow
-/// bucket. Cloning is cheap (the slot table is shared).
+/// bucket, per-precision M-shape-class counters, and a per-process dispatch
+/// class counter. Cloning is cheap (the tables are shared).
 #[derive(Clone, Debug)]
 pub struct GemmTally {
     slots: Arc<Vec<(u64, Counter)>>,
     other: Counter,
+    /// `nnet.gemm.{prec}.{mclass}.calls`, indexed `prec_idx * 6 + m_class`.
+    classes: Arc<Vec<Counter>>,
+    /// `nnet.gemm.dispatch.{scalar|avx2|neon}.calls` — one per record, named
+    /// for the class the f32 hot path dispatches to in this process.
+    dispatch: Counter,
 }
 
 impl GemmTally {
@@ -68,14 +93,24 @@ impl GemmTally {
     /// (duplicates collapse to one slot). Metric names look like
     /// `nnet.gemm.fp16.m1n32k64.calls`.
     pub fn register(reg: &MetricsRegistry, shapes: &[(usize, usize, usize, PrecClass)]) -> Self {
+        let dispatch_tag = crate::gemm::dispatch::active_class().tag();
+        let dispatch = reg.counter(
+            &format!("nnet.gemm.dispatch.{dispatch_tag}.calls"),
+            dpmd_obs::Unit::Count,
+        );
+        let mut classes = Vec::with_capacity(3 * M_CLASS_TAGS.len());
+        for prec in [PrecClass::F64, PrecClass::F32, PrecClass::F16] {
+            for tag in M_CLASS_TAGS {
+                let name = format!("nnet.gemm.{}.{tag}.calls", prec.tag());
+                classes.push(reg.counter(&name, dpmd_obs::Unit::Count));
+            }
+        }
+        let other = reg.counter("nnet.gemm.other.calls", dpmd_obs::Unit::Count);
         let mut slots: Vec<(u64, Counter)> = Vec::with_capacity(shapes.len());
         if !reg.is_enabled() {
             // Capture disabled: keep the slot table empty so record() is a
-            // key pack + empty scan + ZST increment.
-            return GemmTally {
-                slots: Arc::new(slots),
-                other: reg.counter("nnet.gemm.other.calls", dpmd_obs::Unit::Count),
-            };
+            // key pack + empty scan + ZST increments.
+            return GemmTally { slots: Arc::new(slots), other, classes: Arc::new(classes), dispatch };
         }
         for &(m, n, k, p) in shapes {
             let key = shape_key(m, n, k, p);
@@ -85,15 +120,14 @@ impl GemmTally {
             let name = format!("nnet.gemm.{}.m{m}n{n}k{k}.calls", p.tag());
             slots.push((key, reg.counter(&name, dpmd_obs::Unit::Count)));
         }
-        GemmTally {
-            slots: Arc::new(slots),
-            other: reg.counter("nnet.gemm.other.calls", dpmd_obs::Unit::Count),
-        }
+        GemmTally { slots: Arc::new(slots), other, classes: Arc::new(classes), dispatch }
     }
 
     /// Count one GEMM call of the given shape and precision.
     #[inline]
     pub fn record(&self, m: usize, n: usize, k: usize, p: PrecClass) {
+        self.dispatch.inc();
+        self.classes[p.bits() as usize * M_CLASS_TAGS.len() + m_class(m)].inc();
         let key = shape_key(m, n, k, p);
         for (s, c) in self.slots.iter() {
             if *s == key {
@@ -138,5 +172,27 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("nnet.gemm.fp32.m1n32k64.calls"), Some(2));
         assert_eq!(snap.counter("nnet.gemm.other.calls"), Some(2));
+    }
+
+    /// The always-on class counters see every call (registered or not), and
+    /// the dispatch counter carries the process's active class tag.
+    #[test]
+    fn shape_class_and_dispatch_counters_accumulate() {
+        let reg = MetricsRegistry::default();
+        let tally = GemmTally::register(&reg, &[]);
+        if !reg.is_enabled() {
+            return;
+        }
+        tally.record(1, 32, 64, PrecClass::F32);
+        tally.record(40, 32, 64, PrecClass::F32);
+        tally.record(40, 32, 64, PrecClass::F16);
+        tally.record(3, 8, 8, PrecClass::F64);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("nnet.gemm.fp32.m1.calls"), Some(1));
+        assert_eq!(snap.counter("nnet.gemm.fp32.m9_64.calls"), Some(1));
+        assert_eq!(snap.counter("nnet.gemm.fp16.m9_64.calls"), Some(1));
+        assert_eq!(snap.counter("nnet.gemm.fp64.m3.calls"), Some(1));
+        let tag = crate::gemm::dispatch::active_class().tag();
+        assert_eq!(snap.counter(&format!("nnet.gemm.dispatch.{tag}.calls")), Some(4));
     }
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use nnet::activation::Activation;
 use nnet::f16::F16;
-use nnet::gemm::{blocked, naive, simd};
+use nnet::gemm::{blocked, dispatch, naive, simd};
 use nnet::init::build_mlp;
 use nnet::layers::Resnet;
 use nnet::matrix::Matrix;
@@ -198,5 +198,91 @@ proptest! {
         xm[(0, probe)] -= h;
         let fd = (mlp.forward_infer(&xp)[(0, 0)] - mlp.forward_infer(&xm)[(0, 0)]) / (2.0 * h);
         prop_assert!((fd - dx[(0, probe)]).abs() < 1e-5, "fd {fd} vs {}", dx[(0, probe)]);
+    }
+
+    /// Every dispatch-class kernel honours its determinism contract on
+    /// arbitrary shapes, **edge shapes included** (`m = 0`, `k = 0`, `m ≤ 3`
+    /// tall-skinny rows, and m/n far from the microkernel register tiles so
+    /// every remainder path runs):
+    ///
+    /// * the scalar-class kernel is bitwise `naive` (two roundings per
+    ///   accumulate, ascending-k);
+    /// * the native kernel (when the host has one) is bitwise the portable
+    ///   fused `reference_nn` fold (`mul_add`, ascending-k) — the semantic
+    ///   definition of the Avx2/Neon classes — and within reassociation
+    ///   tolerance of `naive`.
+    #[test]
+    fn dispatch_kernels_match_their_class_reference(
+        m in 0usize..11,
+        n in 0usize..40,
+        k in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed ^ 0xd1b54a32d192ed03;
+        let mut next32 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        };
+        let a32: Vec<f32> = (0..m * k).map(|_| next32()).collect();
+        let b32: Vec<f32> = (0..k * n).map(|_| next32()).collect();
+        let a64: Vec<f64> = a32.iter().map(|&x| x as f64).collect();
+        let b64: Vec<f64> = b32.iter().map(|&x| x as f64).collect();
+        // Poison-filled outputs: kernels must overwrite every element.
+        let poison32 = f32::from_bits(0x7fc0dead);
+        let poison64 = f64::from_bits(0x7ff8_0000_dead_beef);
+
+        // Scalar class == naive, bitwise, f32 and f64.
+        let scalar = dispatch::scalar();
+        let mut want32 = vec![0.0f32; m * n];
+        let mut got32 = vec![poison32; m * n];
+        naive::gemm_nn_f32(m, n, k, &a32, &b32, &mut want32);
+        scalar.nn_f32(m, n, k, &a32, &b32, &mut got32);
+        prop_assert_eq!(
+            want32.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got32.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "scalar f32 {}x{}x{}", m, n, k
+        );
+        let mut want64 = vec![0.0f64; m * n];
+        let mut got64 = vec![poison64; m * n];
+        naive::gemm_nn_f64(m, n, k, &a64, &b64, &mut want64);
+        scalar.nn_f64(m, n, k, &a64, &b64, &mut got64);
+        prop_assert_eq!(
+            want64.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got64.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "scalar f64 {}x{}x{}", m, n, k
+        );
+
+        // Native class == fused portable reference, bitwise; and close to
+        // naive (only the fold's rounding regime differs).
+        if let Some(native) = dispatch::native() {
+            let mut fused32 = vec![0.0f32; m * n];
+            let mut nat32 = vec![poison32; m * n];
+            dpmd_simd::reference_nn_f32(m, n, k, &a32, &b32, &mut fused32);
+            native.nn_f32(m, n, k, &a32, &b32, &mut nat32);
+            prop_assert_eq!(
+                fused32.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                nat32.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "native f32 vs fused reference {}x{}x{} ({:?})", m, n, k, native.class()
+            );
+            let mut fused64 = vec![0.0f64; m * n];
+            let mut nat64 = vec![poison64; m * n];
+            dpmd_simd::reference_nn_f64(m, n, k, &a64, &b64, &mut fused64);
+            native.nn_f64(m, n, k, &a64, &b64, &mut nat64);
+            prop_assert_eq!(
+                fused64.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                nat64.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "native f64 vs fused reference {}x{}x{} ({:?})", m, n, k, native.class()
+            );
+            for i in 0..m * n {
+                prop_assert!(
+                    (want32[i] - nat32[i]).abs() <= 1e-4 * want32[i].abs().max(1.0),
+                    "native f32 drifted from naive at {}: {} vs {}", i, want32[i], nat32[i]
+                );
+                prop_assert!(
+                    (want64[i] - nat64[i]).abs() <= 1e-12 * want64[i].abs().max(1.0),
+                    "native f64 drifted from naive at {}: {} vs {}", i, want64[i], nat64[i]
+                );
+            }
+        }
     }
 }

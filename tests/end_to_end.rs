@@ -33,7 +33,10 @@ fn water_md_produces_a_structured_rdf() {
         .training(2, 15)
         .seed(4)
         .build();
-    engine.run(60);
+    // 30 steps is enough for the structural assertions below (excluded
+    // volume + a first-shell peak); 60 bought no extra signal for twice
+    // the debug wall time.
+    engine.run(30);
     let sim = engine.simulation();
     let mut rdf = Rdf::new(Some(0), Some(0), 6.0, 60);
     rdf.sample(&sim.atoms, &sim.bx);
@@ -74,8 +77,16 @@ fn precision_modes_agree_on_the_first_step() {
 
 #[test]
 fn performance_api_is_consistent_with_scaling_experiments() {
-    let perf = Performance::new(SystemSpec::copper());
-    let nodes = [8usize, 12, 8];
+    // Scaled-down spec: the consistency contract under test (optimization
+    // helps, breakdown components are positive, ns/day recomputes from the
+    // breakdown) is size-free, and the full 0.54 M-atom system at the
+    // paper's node counts is exercised by the #[ignore]d paper anchors in
+    // their own CI job. Full size here cost ~100 s of the tier-1 debug
+    // wall; this runs in well under a second.
+    let mut spec = SystemSpec::copper();
+    spec.target_atoms = 16_000;
+    let perf = Performance::new(spec);
+    let nodes = [2usize, 3, 2];
     let opt = perf.nsday(nodes, OptLevel::CommLb);
     let base = perf.nsday(nodes, OptLevel::Baseline);
     assert!(opt > base, "optimization must help: {opt} vs {base}");
