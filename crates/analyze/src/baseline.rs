@@ -29,7 +29,12 @@ impl Baseline {
         };
         for item in items {
             let rule = match item.get("rule") {
-                Some(Value::String(s)) => s.clone(),
+                Some(Value::String(s)) => {
+                    if crate::diag::RuleId::parse(s).is_none() {
+                        return Err(format!("baseline entry names unknown rule {s:?}"));
+                    }
+                    s.clone()
+                }
                 _ => return Err("baseline entry missing \"rule\"".to_string()),
             };
             let path = match item.get("path") {
@@ -117,6 +122,15 @@ mod tests {
         assert_eq!(fresh.len(), 1, "second D1 in a.rs exceeds the budget");
         assert_eq!(fresh[0].line, 9);
         assert_eq!(baselined.len(), 2);
+    }
+
+    #[test]
+    fn unknown_rule_names_are_rejected() {
+        let err = Baseline::from_json(
+            r#"{"entries":[{"rule":"D99","path":"a.rs","count":1}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("D99"), "got: {err}");
     }
 
     #[test]

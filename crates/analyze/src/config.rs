@@ -1,14 +1,51 @@
-//! Analyzer configuration: wall-clock allowlist, hot-path manifest, and
-//! blessed reduction helpers.
+//! Analyzer configuration: wall-clock allowlist, hot-path manifest,
+//! blessed reduction helpers, and the D7–D10 interprocedural allowlists.
 //!
 //! The committed workspace config lives in `analyze-config.json` at the
 //! repository root; tests build `Config` values directly. Registering a new
 //! hot-path function is one manifest entry — see DESIGN.md ("Registering a
 //! new hot-path function").
+//!
+//! Parsing is strict: an unknown top-level key is a typed
+//! [`ConfigError::UnknownKey`], not a silent ignore — a typo'd allowlist
+//! that silently does nothing is how audits rot.
+
+use std::fmt;
 
 use serde::Value;
 
-/// One hot-path registration: a function that must not allocate.
+/// Why a config failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The JSON itself didn't parse.
+    Parse(String),
+    /// A top-level key the schema doesn't know.
+    UnknownKey(String),
+    /// A known key held the wrong shape.
+    BadEntry {
+        key: &'static str,
+        want: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Parse(e) => write!(f, "config parse: {e}"),
+            ConfigError::UnknownKey(k) => write!(
+                f,
+                "unknown config key `{k}` — the schema rejects unknown keys so a typo'd \
+                 allowlist cannot silently do nothing"
+            ),
+            ConfigError::BadEntry { key, want } => write!(f, "config key `{key}` needs {want}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One hot-path registration: a function that must not allocate. Reused by
+/// D8's clock-reader allowlist (same `{file, fn}` shape).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HotPath {
     /// Path suffix the file must end with (e.g. `crates/serve/src/lib.rs`).
@@ -20,13 +57,26 @@ pub struct HotPath {
 /// Rule configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
-    /// Path prefixes where wall-clock reads are legitimate (D4).
+    /// Path prefixes where wall-clock reads are legitimate (D4, D8).
     pub wallclock_allow: Vec<String>,
-    /// Functions registered as allocation-free hot paths (D5).
+    /// Functions registered as allocation-free hot paths (D5, D7 roots).
     pub hotpaths: Vec<HotPath>,
     /// Function names allowed to accumulate floats across chunks (D2) —
     /// the blessed chunk-ordered reduction helpers.
     pub blessed_reductions: Vec<String>,
+    /// Path prefixes exempt from D7's transitive-allocation reachability
+    /// (e.g. the capture-gated observability layer).
+    pub d7_alloc_allow: Vec<String>,
+    /// Enumerated legitimate `wall_now` readers (D8): `{file, fn}` entries.
+    pub d8_clock_allow: Vec<HotPath>,
+    /// Path prefixes of the audited unsafe islands (D9).
+    pub d9_islands: Vec<String>,
+    /// Qualified names of audited `pub unsafe fn` exports (D9).
+    pub d9_audited_surface: Vec<String>,
+    /// Qualified names of audited cross-crate callers of unsafe fns (D9).
+    pub d9_audited_callers: Vec<String>,
+    /// Blessed interprocedural lock-order edges (D10): `(held, acquired)`.
+    pub d10_blessed_edges: Vec<(String, String)>,
 }
 
 impl Default for Config {
@@ -41,37 +91,61 @@ impl Default for Config {
             ],
             hotpaths: Vec::new(),
             blessed_reductions: Vec::new(),
+            d7_alloc_allow: Vec::new(),
+            d8_clock_allow: Vec::new(),
+            d9_islands: vec!["crates/threads/".to_string(), "crates/simd/".to_string()],
+            d9_audited_surface: Vec::new(),
+            d9_audited_callers: Vec::new(),
+            d10_blessed_edges: Vec::new(),
         }
     }
 }
 
 impl Config {
-    /// Parse the committed JSON config. Unknown fields are ignored so the
-    /// format can grow; missing fields keep their defaults.
-    pub fn from_json(text: &str) -> Result<Config, String> {
-        let v = serde_json::parse(text).map_err(|e| format!("config parse: {e}"))?;
+    /// Parse the committed JSON config. Missing keys keep their defaults;
+    /// unknown keys are a typed error.
+    pub fn from_json(text: &str) -> Result<Config, ConfigError> {
+        let v = serde_json::parse(text).map_err(|e| ConfigError::Parse(e.to_string()))?;
+        let Value::Object(pairs) = &v else {
+            return Err(ConfigError::Parse("top level must be an object".to_string()));
+        };
         let mut cfg = Config::default();
-        if let Some(arr) = v.get("wallclock_allow").and_then(as_array) {
-            cfg.wallclock_allow =
-                arr.iter().filter_map(as_string).map(str::to_string).collect();
-        }
-        if let Some(arr) = v.get("blessed_reductions").and_then(as_array) {
-            cfg.blessed_reductions =
-                arr.iter().filter_map(as_string).map(str::to_string).collect();
-        }
-        if let Some(arr) = v.get("hotpaths").and_then(as_array) {
-            let mut hp = Vec::new();
-            for item in arr {
-                let file = item.get("file").and_then(as_string);
-                let func = item.get("fn").and_then(as_string);
-                match (file, func) {
-                    (Some(f), Some(n)) => {
-                        hp.push(HotPath { path_suffix: f.to_string(), fn_name: n.to_string() })
+        for (key, val) in pairs {
+            match key.as_str() {
+                "wallclock_allow" => cfg.wallclock_allow = string_list(key, val)?,
+                "blessed_reductions" => cfg.blessed_reductions = string_list(key, val)?,
+                "d7_alloc_allow" => cfg.d7_alloc_allow = string_list(key, val)?,
+                "d9_islands" => cfg.d9_islands = string_list(key, val)?,
+                "d9_audited_surface" => cfg.d9_audited_surface = string_list(key, val)?,
+                "d9_audited_callers" => cfg.d9_audited_callers = string_list(key, val)?,
+                "hotpaths" => cfg.hotpaths = file_fn_list("hotpaths", val)?,
+                "d8_clock_allow" => cfg.d8_clock_allow = file_fn_list("d8_clock_allow", val)?,
+                "d10_blessed_edges" => {
+                    let Value::Array(items) = val else {
+                        return Err(ConfigError::BadEntry {
+                            key: "d10_blessed_edges",
+                            want: "an array of {\"held\":…,\"acquired\":…} objects",
+                        });
+                    };
+                    let mut edges = Vec::new();
+                    for item in items {
+                        match (
+                            item.get("held").and_then(as_string),
+                            item.get("acquired").and_then(as_string),
+                        ) {
+                            (Some(h), Some(a)) => edges.push((h.to_string(), a.to_string())),
+                            _ => {
+                                return Err(ConfigError::BadEntry {
+                                    key: "d10_blessed_edges",
+                                    want: "entries shaped {\"held\":…,\"acquired\":…}",
+                                })
+                            }
+                        }
                     }
-                    _ => return Err("hotpaths entries need {\"file\":…,\"fn\":…}".to_string()),
+                    cfg.d10_blessed_edges = edges;
                 }
+                other => return Err(ConfigError::UnknownKey(other.to_string())),
             }
-            cfg.hotpaths = hp;
         }
         Ok(cfg)
     }
@@ -85,13 +159,72 @@ impl Config {
     pub fn hotpaths_for<'a>(&'a self, path: &str) -> Vec<&'a HotPath> {
         self.hotpaths.iter().filter(|h| path.ends_with(h.path_suffix.as_str())).collect()
     }
+
+    /// Is `path` exempt from D7's transitive-allocation reachability?
+    pub fn d7_alloc_allowed(&self, path: &str) -> bool {
+        self.d7_alloc_allow.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Is (`path`, `fn_name`) an enumerated legitimate clock reader (D8)?
+    pub fn d8_clock_allowed(&self, path: &str, fn_name: &str) -> bool {
+        self.d8_clock_allow
+            .iter()
+            .any(|h| path.ends_with(h.path_suffix.as_str()) && h.fn_name == fn_name)
+    }
+
+    /// Is `path` inside an audited unsafe island (D9)?
+    pub fn d9_island(&self, path: &str) -> bool {
+        self.d9_islands.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Is the interprocedural lock edge `held` → `acquired` blessed (D10)?
+    pub fn d10_blessed(&self, held: &str, acquired: &str) -> bool {
+        self.d10_blessed_edges.iter().any(|(h, a)| h == held && a == acquired)
+    }
 }
 
-fn as_array(v: &Value) -> Option<&[Value]> {
-    match v {
-        Value::Array(items) => Some(items),
-        _ => None,
+fn string_list(key: &str, v: &Value) -> Result<Vec<String>, ConfigError> {
+    let want = "an array of strings";
+    let keyed = |k: &str| -> &'static str {
+        // Map back to the static key names so the error type stays Copy-able.
+        match k {
+            "wallclock_allow" => "wallclock_allow",
+            "blessed_reductions" => "blessed_reductions",
+            "d7_alloc_allow" => "d7_alloc_allow",
+            "d9_islands" => "d9_islands",
+            "d9_audited_surface" => "d9_audited_surface",
+            "d9_audited_callers" => "d9_audited_callers",
+            _ => "config",
+        }
+    };
+    let Value::Array(items) = v else {
+        return Err(ConfigError::BadEntry { key: keyed(key), want });
+    };
+    let mut out = Vec::new();
+    for item in items {
+        match as_string(item) {
+            Some(s) => out.push(s.to_string()),
+            None => return Err(ConfigError::BadEntry { key: keyed(key), want }),
+        }
     }
+    Ok(out)
+}
+
+fn file_fn_list(key: &'static str, v: &Value) -> Result<Vec<HotPath>, ConfigError> {
+    let want = "entries shaped {\"file\":…,\"fn\":…}";
+    let Value::Array(items) = v else {
+        return Err(ConfigError::BadEntry { key, want });
+    };
+    let mut out = Vec::new();
+    for item in items {
+        match (item.get("file").and_then(as_string), item.get("fn").and_then(as_string)) {
+            (Some(f), Some(n)) => {
+                out.push(HotPath { path_suffix: f.to_string(), fn_name: n.to_string() })
+            }
+            _ => return Err(ConfigError::BadEntry { key, want }),
+        }
+    }
+    Ok(out)
 }
 
 fn as_string(v: &Value) -> Option<&str> {
@@ -111,7 +244,13 @@ mod tests {
             r#"{
                 "wallclock_allow": ["crates/obs/", "crates/bench/"],
                 "hotpaths": [{"file": "crates/serve/src/lib.rs", "fn": "run"}],
-                "blessed_reductions": ["merge_chunks"]
+                "blessed_reductions": ["merge_chunks"],
+                "d7_alloc_allow": ["crates/obs/"],
+                "d8_clock_allow": [{"file": "crates/minimd/src/sim.rs", "fn": "step"}],
+                "d9_islands": ["crates/threads/", "crates/simd/"],
+                "d9_audited_surface": ["dpmd_simd::avx2::nn_f32"],
+                "d9_audited_callers": ["nnet::gemm::dispatch"],
+                "d10_blessed_edges": [{"held": "serve::queue", "acquired": "serve::state"}]
             }"#,
         )
         .unwrap();
@@ -119,10 +258,35 @@ mod tests {
         assert!(!cfg.wallclock_allowed("crates/minimd/src/sim.rs"));
         assert_eq!(cfg.hotpaths_for("crates/serve/src/lib.rs").len(), 1);
         assert_eq!(cfg.blessed_reductions, vec!["merge_chunks".to_string()]);
+        assert!(cfg.d7_alloc_allowed("crates/obs/src/metrics.rs"));
+        assert!(cfg.d8_clock_allowed("crates/minimd/src/sim.rs", "step"));
+        assert!(!cfg.d8_clock_allowed("crates/minimd/src/sim.rs", "init"));
+        assert!(cfg.d9_island("crates/simd/src/lib.rs"));
+        assert_eq!(cfg.d9_audited_surface, vec!["dpmd_simd::avx2::nn_f32".to_string()]);
+        assert!(cfg.d10_blessed("serve::queue", "serve::state"));
+        assert!(!cfg.d10_blessed("serve::state", "serve::queue"));
     }
 
     #[test]
     fn rejects_malformed_hotpaths() {
-        assert!(Config::from_json(r#"{"hotpaths": [{"file": "x"}]}"#).is_err());
+        assert!(matches!(
+            Config::from_json(r#"{"hotpaths": [{"file": "x"}]}"#),
+            Err(ConfigError::BadEntry { key: "hotpaths", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_a_typed_error() {
+        let err = Config::from_json(r#"{"wallclock_alow": []}"#).unwrap_err();
+        assert_eq!(err, ConfigError::UnknownKey("wallclock_alow".to_string()));
+        assert!(err.to_string().contains("wallclock_alow"));
+    }
+
+    #[test]
+    fn missing_keys_keep_island_defaults() {
+        let cfg = Config::from_json("{}").unwrap();
+        assert!(cfg.d9_island("crates/threads/src/lib.rs"));
+        assert!(cfg.d9_island("crates/simd/src/lib.rs"));
+        assert!(!cfg.d9_island("crates/comm/src/lib.rs"));
     }
 }

@@ -21,11 +21,36 @@ pub enum RuleId {
     /// Lock-order cycle (potential deadlock) in the cross-crate
     /// `Mutex`/`RwLock` acquisition graph.
     D6,
+    /// Allocation in any function *reachable* from a registered hot path
+    /// (transitive closure over the workspace call graph; closes D5's
+    /// one-hop blind spot).
+    D7,
+    /// Wall-clock taint: a call-graph path from a deterministic entry
+    /// point to `wall_now`/`Instant::now` outside the enumerated clock
+    /// readers (closes D4's blind spot).
+    D8,
+    /// Unsafe-surface escape: unsafe code or raw-pointer-returning APIs
+    /// outside the audited islands, or unaudited cross-crate callers of
+    /// unsafe functions.
+    D9,
+    /// Interprocedural lock-order cycle: lock sets accumulated along real
+    /// call chains (lifts D6 beyond single-function bodies).
+    D10,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 6] =
-        [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::D4, RuleId::D5, RuleId::D6];
+    pub const ALL: [RuleId; 10] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::D6,
+        RuleId::D7,
+        RuleId::D8,
+        RuleId::D9,
+        RuleId::D10,
+    ];
 
     pub fn as_str(self) -> &'static str {
         match self {
@@ -35,6 +60,10 @@ impl RuleId {
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
+            RuleId::D7 => "D7",
+            RuleId::D8 => "D8",
+            RuleId::D9 => "D9",
+            RuleId::D10 => "D10",
         }
     }
 
@@ -52,6 +81,10 @@ impl RuleId {
             RuleId::D4 => "wall-clock read on a deterministic code path",
             RuleId::D5 => "allocation inside a registered hot-path function",
             RuleId::D6 => "lock-order cycle (potential deadlock)",
+            RuleId::D7 => "allocation reachable from a registered hot path",
+            RuleId::D8 => "wall-clock taint outside the enumerated clock readers",
+            RuleId::D9 => "unsafe surface escaping the audited islands",
+            RuleId::D10 => "interprocedural lock-order cycle across call chains",
         }
     }
 }

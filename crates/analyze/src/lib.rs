@@ -2,8 +2,10 @@
 //!
 //! Self-contained static analysis for this workspace: an own Rust lexer
 //! ([`lexer`], raw strings / nested block comments / lifetime-vs-char) and a
-//! lightweight item parser ([`parser`]) feed six rules ([`rules`]) that
-//! encode the project's invariants:
+//! lightweight item parser ([`parser`]) feed ten rules ([`rules`]) that
+//! encode the project's invariants. D1–D6 are per-file (D6 merges lock
+//! edges globally); D7–D10 are interprocedural queries over a workspace
+//! call graph built by a symbol-resolution pass ([`resolve`], [`graph`]):
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -13,12 +15,23 @@
 //! | D4 | wall clocks only behind `dpmd_obs::clock::wall_now` + allowlist |
 //! | D5 | registered hot-path functions do not allocate |
 //! | D6 | the cross-crate lock graph is acyclic |
+//! | D7 | nothing *reachable* from a hot path allocates (transitive D5) |
+//! | D8 | every direct `wall_now` reader is an enumerated clock reader |
+//! | D9 | unsafe code/raw-pointer APIs stay in the audited islands |
+//! | D10 | lock sets accumulated along call chains stay acyclic |
+//!
+//! The call graph itself is exportable (`--graph out.json`) along with
+//! per-run resolution statistics (`--emit-stats stats.json`); unresolved
+//! call sites are listed with reasons, never silently dropped, and
+//! `--min-resolution PCT` turns a resolution-rate regression into a CI
+//! failure.
 //!
 //! Findings are typed ([`diag::Finding`]) with `file:line` spans, printed
 //! human-readable and as deterministic JSON. A committed baseline
 //! ([`baseline`]) ratchets legacy findings down; `--deny` makes any fresh
 //! finding fail CI. Inline escape hatch: `// dpmd-allow D<n>: reason`
-//! (reason required; D3's escape hatch is the SAFETY comment itself).
+//! (reason required; D3's escape hatch is the SAFETY comment itself; D10
+//! has no inline form — bless edges in `d10_blessed_edges` instead).
 
 // Enforced workspace-wide (dpmd-analyze rule D3 audits the exception
 // in dpmd-threads); everything else is safe Rust by construction.
@@ -27,10 +40,13 @@
 pub mod baseline;
 pub mod config;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod parser;
+pub mod resolve;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -38,6 +54,7 @@ use baseline::Baseline;
 use config::Config;
 use diag::{sort_findings, Finding, RuleId};
 use dpmd_obs::{MetricsRegistry, Unit};
+use graph::CallGraph;
 use rules::LockEdge;
 
 /// Result of an analysis run, before baseline application.
@@ -46,17 +63,46 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: u64,
+    /// The workspace call graph the D7–D10 rules ran over.
+    pub graph: CallGraph,
 }
 
-/// Analyze a single source text under a given repo-relative path. Includes
-/// lock-cycle analysis over just this file (tests and tools use this; the
-/// workspace run merges lock edges globally instead).
-pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let parsed = parser::parse_file(path, src);
-    let (mut findings, edges) = rules::analyze_file(&parsed, src, cfg);
+/// Analyze a set of sources together: per-file rules, globally merged lock
+/// edges, then the call graph and its D7–D10 queries. `lib_names` maps
+/// crate directory names to library names (empty map: directory-name
+/// fallback). Returns the findings and the graph they were derived from.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    lib_names: &BTreeMap<String, String>,
+    cfg: &Config,
+) -> (Vec<Finding>, CallGraph) {
+    let files: Vec<parser::ParsedFile> =
+        sources.iter().map(|(path, src)| parser::parse_file(path, src)).collect();
+    let srcs: Vec<String> = sources.iter().map(|(_, src)| src.clone()).collect();
+
+    let mut findings = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (parsed, src) in files.iter().zip(&srcs) {
+        let (file_findings, file_edges) = rules::analyze_file(parsed, src, cfg);
+        findings.extend(file_findings);
+        edges.extend(file_edges);
+    }
     findings.extend(rules::lock_cycles(&edges));
+
+    let g = CallGraph::build(&files, lib_names);
+    findings.extend(rules::graph_rules(&g, &files, &srcs, cfg, &edges));
+
     sort_findings(&mut findings);
-    findings
+    (findings, g)
+}
+
+/// Analyze a single source text under a given repo-relative path. The full
+/// pipeline runs on the one file, including the graph rules — a fixture
+/// whose hot path calls an allocating helper in the same file still trips
+/// D7. Tests and tools use this; the workspace run merges across files.
+pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let sources = vec![(path.to_string(), src.to_string())];
+    analyze_sources(&sources, &BTreeMap::new(), cfg).0
 }
 
 /// Directories never scanned: build output, VCS internals, and lint
@@ -96,27 +142,63 @@ pub fn workspace_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
     Ok(out)
 }
 
-/// Analyze every `.rs` file under `root`. Lock edges are merged across
-/// files before cycle detection, so an A→B in one crate and B→A in another
-/// still report.
+/// Map crate directory names to their library names by reading each
+/// `crates/*/Cargo.toml` (and `crates/shims/*/Cargo.toml`) under `root`.
+/// `-` is normalized to `_` to match what `use` paths spell. Missing or
+/// unreadable manifests just fall back to the directory-name rule in
+/// [`resolve::module_of`].
+pub fn workspace_lib_names(root: &Path) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for crates_dir in [root.join("crates"), root.join("crates").join("shims")] {
+        let Ok(entries) = fs::read_dir(&crates_dir) else { continue };
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            let Ok(manifest) = fs::read_to_string(dir.join("Cargo.toml")) else { continue };
+            let Some(pkg) = manifest_package_name(&manifest) else { continue };
+            let dir_name = entry.file_name().to_string_lossy().into_owned();
+            map.insert(dir_name, pkg.replace('-', "_"));
+        }
+    }
+    map
+}
+
+/// First `name = "…"` in a manifest (the `[package]` name — workspace
+/// manifests here never define `name` earlier than the package table).
+fn manifest_package_name(manifest: &str) -> Option<String> {
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                if !v.is_empty() {
+                    return Some(v.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Analyze every `.rs` file under `root`: per-file rules, globally merged
+/// lock edges, and the interprocedural D7–D10 queries over the workspace
+/// call graph.
 pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
     let files = workspace_files(root)?;
-    let mut findings = Vec::new();
-    let mut edges: Vec<LockEdge> = Vec::new();
-    let mut files_scanned = 0u64;
+    let lib_names = workspace_lib_names(root);
+    let mut sources: Vec<(String, String)> = Vec::new();
     for (rel, path) in &files {
         let Ok(src) = fs::read_to_string(path) else {
             continue; // non-UTF-8 or unreadable: not a lintable Rust source
         };
-        files_scanned += 1;
-        let parsed = parser::parse_file(rel, &src);
-        let (file_findings, file_edges) = rules::analyze_file(&parsed, &src, cfg);
-        findings.extend(file_findings);
-        edges.extend(file_edges);
+        sources.push((rel.clone(), src));
     }
-    findings.extend(rules::lock_cycles(&edges));
-    sort_findings(&mut findings);
-    Ok(Report { findings, files_scanned })
+    let files_scanned = sources.len() as u64;
+    let (findings, graph) = analyze_sources(&sources, &lib_names, cfg);
+    Ok(Report { findings, files_scanned, graph })
 }
 
 /// Record rule hit-counts and scan stats into a metrics registry. With the
@@ -140,6 +222,16 @@ pub fn record_metrics(
     }
 }
 
+/// Record call-graph shape and resolution stats into a metrics registry.
+pub fn record_graph_metrics(reg: &MetricsRegistry, g: &CallGraph) {
+    reg.counter("analyze.graph.nodes", Unit::Count).add(g.nodes.len() as u64);
+    reg.counter("analyze.graph.edges", Unit::Count).add(g.edges.len() as u64);
+    reg.counter("analyze.graph.call_sites", Unit::Count).add(g.stats.sites);
+    reg.counter("analyze.graph.resolved", Unit::Count).add(g.stats.resolved);
+    reg.counter("analyze.graph.external", Unit::Count).add(g.stats.external);
+    reg.counter("analyze.graph.unresolved", Unit::Count).add(g.unresolved.len() as u64);
+}
+
 /// Parsed CLI options.
 struct Opts {
     root: PathBuf,
@@ -148,6 +240,9 @@ struct Opts {
     baseline: Option<PathBuf>,
     config: Option<PathBuf>,
     json_out: Option<PathBuf>,
+    graph_out: Option<PathBuf>,
+    stats_out: Option<PathBuf>,
+    min_resolution: Option<f64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -158,6 +253,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         baseline: None,
         config: None,
         json_out: None,
+        graph_out: None,
+        stats_out: None,
+        min_resolution: None,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<PathBuf, String> {
@@ -172,6 +270,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--config" => opts.config = Some(value(&mut i, "--config")?),
             "--root" => opts.root = value(&mut i, "--root")?,
             "--json" => opts.json_out = Some(value(&mut i, "--json")?),
+            "--graph" => opts.graph_out = Some(value(&mut i, "--graph")?),
+            "--emit-stats" => opts.stats_out = Some(value(&mut i, "--emit-stats")?),
+            "--min-resolution" => {
+                let raw = value(&mut i, "--min-resolution")?;
+                let raw = raw.to_string_lossy();
+                let pct: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--min-resolution: `{raw}` is not a number"))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(format!("--min-resolution: `{raw}` must be in 0..=100"));
+                }
+                opts.min_resolution = Some(pct);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -181,13 +292,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 const USAGE: &str = "usage: dpmd-analyze [--deny] [--bless] [--root DIR] \
-[--baseline PATH] [--config PATH] [--json PATH]\n\
-  --deny      exit 1 on any finding not covered by the baseline\n\
-  --bless     rewrite the baseline to cover current findings (or DPMD_BLESS=1)\n\
-  --root      workspace root to scan (default .)\n\
-  --baseline  baseline file (default <root>/analyze-baseline.json if present)\n\
-  --config    rule config (default <root>/analyze-config.json if present)\n\
-  --json      also write findings as deterministic JSON to PATH";
+[--baseline PATH] [--config PATH] [--json PATH] [--graph PATH] \
+[--emit-stats PATH] [--min-resolution PCT]\n\
+  --deny            exit 1 on any finding not covered by the baseline\n\
+  --bless           rewrite the baseline to cover current findings (or DPMD_BLESS=1)\n\
+  --root            workspace root to scan (default .)\n\
+  --baseline        baseline file (default <root>/analyze-baseline.json if present)\n\
+  --config          rule config (default <root>/analyze-config.json if present)\n\
+  --json            also write findings as deterministic JSON to PATH\n\
+  --graph           export the workspace call graph as JSON to PATH\n\
+  --emit-stats      write call-edge resolution statistics as JSON to PATH\n\
+  --min-resolution  exit 1 if call-edge resolution falls below PCT (0..=100)";
 
 /// Run the analyzer CLI. Returns the process exit code. Shared between the
 /// `dpmd-analyze` binary and the `dpmd analyze` subcommand.
@@ -203,9 +318,10 @@ pub fn run_cli(args: &[String]) -> i32 {
     let config_path =
         opts.config.clone().unwrap_or_else(|| opts.root.join("analyze-config.json"));
     let cfg = if config_path.is_file() {
-        match fs::read_to_string(&config_path).map_err(|e| e.to_string()).and_then(|t| {
-            Config::from_json(&t)
-        }) {
+        match fs::read_to_string(&config_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Config::from_json(&t).map_err(|e| e.to_string()))
+        {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("dpmd-analyze: {}: {e}", config_path.display());
@@ -226,6 +342,20 @@ pub fn run_cli(args: &[String]) -> i32 {
             return 2;
         }
     };
+
+    if let Some(graph_path) = &opts.graph_out {
+        if let Err(e) = fs::write(graph_path, report.graph.to_json() + "\n") {
+            eprintln!("dpmd-analyze: write {}: {e}", graph_path.display());
+            return 2;
+        }
+    }
+    if let Some(stats_path) = &opts.stats_out {
+        let stats = report.graph.stats_json(report.files_scanned);
+        if let Err(e) = fs::write(stats_path, stats + "\n") {
+            eprintln!("dpmd-analyze: write {}: {e}", stats_path.display());
+            return 2;
+        }
+    }
 
     let baseline_path =
         opts.baseline.clone().unwrap_or_else(|| opts.root.join("analyze-baseline.json"));
@@ -265,6 +395,7 @@ pub fn run_cli(args: &[String]) -> i32 {
 
     let reg = MetricsRegistry::new();
     record_metrics(&reg, &fresh, &baselined, files_scanned);
+    record_graph_metrics(&reg, &report.graph);
 
     if let Some(json_path) = &opts.json_out {
         if let Err(e) = fs::write(json_path, diag::to_json(&fresh) + "\n") {
@@ -279,11 +410,19 @@ pub fn run_cli(args: &[String]) -> i32 {
             println!("    {}", f.snippet);
         }
     }
+    let resolution = report.graph.stats.resolution_pct(report.graph.unresolved.len());
     println!(
         "dpmd-analyze: {} file(s) scanned, {} finding(s), {} baselined",
         files_scanned,
         fresh.len(),
         baselined.len()
+    );
+    println!(
+        "dpmd-analyze: call graph: {} node(s), {} edge(s), {} unresolved site(s), \
+         {resolution:.2}% of workspace call edges resolved",
+        report.graph.nodes.len(),
+        report.graph.edges.len(),
+        report.graph.unresolved.len(),
     );
     for rule in RuleId::ALL {
         let n = fresh.iter().filter(|f| f.rule == rule).count();
@@ -293,13 +432,26 @@ pub fn run_cli(args: &[String]) -> i32 {
         }
     }
 
+    let mut code = 0;
+    if let Some(floor) = opts.min_resolution {
+        if resolution < floor {
+            for u in &report.graph.unresolved {
+                eprintln!("{}:{}: unresolved call `{}` ({})", u.path, u.line, u.callee, u.reason);
+            }
+            eprintln!(
+                "dpmd-analyze: --min-resolution: {resolution:.2}% resolved is below the \
+                 {floor:.2}% floor; fix the unresolved sites above or lower the floor"
+            );
+            code = 1;
+        }
+    }
     if opts.deny && !fresh.is_empty() {
         eprintln!(
             "dpmd-analyze: --deny: {} unbaselined finding(s); fix them, add an inline \
              `// dpmd-allow <RULE>: reason`, or re-bless the baseline",
             fresh.len()
         );
-        return 1;
+        code = 1;
     }
-    0
+    code
 }

@@ -26,6 +26,8 @@ pub enum UnsafeKind {
 pub struct UnsafeSite {
     pub kind: UnsafeKind,
     pub line: u32,
+    /// Token index of the `unsafe` keyword.
+    pub tok: usize,
 }
 
 /// One function item.
@@ -40,6 +42,31 @@ pub struct FnItem {
     pub body: Option<(usize, usize)>,
     /// Inside `#[cfg(test)]`, under `#[test]`, or in a test-like target.
     pub is_test: bool,
+    /// Inline `mod` path enclosing the item (outer → inner). The file's own
+    /// module path comes from its filesystem location; this is only what
+    /// `mod name { … }` blocks add on top.
+    pub mod_path: Vec<String>,
+    /// Self type of the enclosing `impl` block (`Avx2` for
+    /// `impl Kernel for Avx2`), or the trait name for default methods
+    /// declared directly inside `trait T { … }`.
+    pub impl_type: Option<String>,
+    /// Trait being implemented, when the enclosing impl is a trait impl.
+    pub trait_name: Option<String>,
+    /// Carries a `pub` / `pub(…)` visibility qualifier.
+    pub is_pub: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe_fn: bool,
+    /// Return type mentions a raw pointer (`*const T` / `*mut T`).
+    pub returns_raw_ptr: bool,
+}
+
+/// One `use` import: `alias` names `path` in this file's scope.
+/// `use a::b::c;` → alias `c`, path `[a, b, c]`; `use a::b as x;` → alias
+/// `x`, path `[a, b]`; groups `use a::{b, c::d}` flatten to one item each.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseItem {
+    pub path: Vec<String>,
+    pub alias: String,
 }
 
 /// A parsed source file.
@@ -50,6 +77,10 @@ pub struct ParsedFile {
     pub comments: Vec<Comment>,
     pub fns: Vec<FnItem>,
     pub unsafes: Vec<UnsafeSite>,
+    /// `use` imports (aliased names in scope), file-wide.
+    pub uses: Vec<UseItem>,
+    /// Glob import prefixes (`use a::b::*;` → `[a, b]`).
+    pub globs: Vec<Vec<String>>,
     /// Whole file is test-like (under `tests/`, `benches/`, `examples/`,
     /// or a `fixtures/` data directory).
     pub file_is_testlike: bool,
@@ -177,6 +208,15 @@ pub fn parse_file(path: &str, src: &str) -> ParsedFile {
     let in_test_range =
         |i: usize| file_is_testlike || test_ranges.iter().any(|&(a, b)| a <= i && i <= b);
 
+    // Enclosing-context regions: inline `mod name { … }` blocks, `impl`
+    // blocks (with self type and optional trait), and `trait Name { … }`
+    // bodies (default methods resolve as methods of the trait).
+    let mod_regions = mod_regions(&tokens);
+    let impl_regions = impl_regions(&tokens);
+
+    let mut uses = Vec::new();
+    let mut globs = Vec::new();
+
     let mut i = 0usize;
     while i < tokens.len() {
         let t = &tokens[i];
@@ -190,8 +230,12 @@ pub fn parse_file(path: &str, src: &str) -> ParsedFile {
                 _ => None,
             };
             if let Some(kind) = kind {
-                unsafes.push(UnsafeSite { kind, line: t.line });
+                unsafes.push(UnsafeSite { kind, line: t.line, tok: i });
             }
+        }
+        if t.is_ident("use") {
+            i = parse_use(&tokens, i, &mut uses, &mut globs);
+            continue;
         }
         if t.is_ident("fn") {
             if let Some(name_tok) = tokens.get(i + 1) {
@@ -201,10 +245,20 @@ pub fn parse_file(path: &str, src: &str) -> ParsedFile {
                     // closure arguments can't confuse the scan.
                     let mut j = i + 2;
                     let mut body = None;
+                    let mut returns_raw_ptr = false;
                     while j < tokens.len() {
                         if tokens[j].is_punct('(') {
                             j = match_paren(&tokens, j) + 1;
                             continue;
+                        }
+                        if tokens[j].is_punct('*')
+                            && tokens
+                                .get(j + 1)
+                                .is_some_and(|t| t.is_ident("const") || t.is_ident("mut"))
+                        {
+                            // Past the argument parens, a `*const`/`*mut`
+                            // can only live in the return type.
+                            returns_raw_ptr = true;
                         }
                         if tokens[j].is_punct('{') {
                             let close = match_brace(&tokens, j);
@@ -217,12 +271,29 @@ pub fn parse_file(path: &str, src: &str) -> ParsedFile {
                         j += 1;
                     }
                     let is_test = in_test_range(i) || has_test_attr(&tokens, i);
+                    let (is_pub, is_unsafe_fn) = fn_qualifiers(&tokens, i);
+                    let mod_path = mod_regions
+                        .iter()
+                        .filter(|r| r.open < i && i <= r.close)
+                        .map(|r| r.name.clone())
+                        .collect();
+                    let (impl_type, trait_name) = impl_regions
+                        .iter()
+                        .rfind(|r| r.open < i && i <= r.close)
+                        .map(|r| (Some(r.self_type.clone()), r.trait_name.clone()))
+                        .unwrap_or((None, None));
                     fns.push(FnItem {
                         name: name.to_string(),
                         line: t.line,
                         sig_start: i,
                         body,
                         is_test,
+                        mod_path,
+                        impl_type,
+                        trait_name,
+                        is_pub,
+                        is_unsafe_fn,
+                        returns_raw_ptr,
                     });
                 }
             }
@@ -230,7 +301,273 @@ pub fn parse_file(path: &str, src: &str) -> ParsedFile {
         i += 1;
     }
 
-    ParsedFile { path: path.to_string(), tokens, comments, fns, unsafes, file_is_testlike }
+    ParsedFile {
+        path: path.to_string(),
+        tokens,
+        comments,
+        fns,
+        unsafes,
+        uses,
+        globs,
+        file_is_testlike,
+    }
+}
+
+/// An inline `mod name { … }` region (token indices of the braces).
+struct ModRegion {
+    name: String,
+    open: usize,
+    close: usize,
+}
+
+fn mod_regions(tokens: &[Token]) -> Vec<ModRegion> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("mod") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else { continue };
+        if tokens.get(i + 2).is_some_and(|t| t.is_punct('{')) {
+            out.push(ModRegion {
+                name: name.to_string(),
+                open: i + 2,
+                close: match_brace(tokens, i + 2),
+            });
+        }
+    }
+    out
+}
+
+/// An `impl [Trait for] Type { … }` or `trait Name { … }` region.
+struct ImplRegion {
+    self_type: String,
+    trait_name: Option<String>,
+    open: usize,
+    close: usize,
+}
+
+/// Index of the `>` matching the `<` at `open` (for turbofish scans).
+/// Bails at `{`/`;`/`(` so a stray comparison can't run away.
+pub fn match_angle(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        } else if t.is_punct('{') || t.is_punct(';') || t.is_punct('(') {
+            return open;
+        }
+    }
+    open
+}
+
+/// Skip a generic argument list starting at the `<` at `i`; returns the
+/// index just past the matching `>`. `>>` arrives as two adjacent puncts,
+/// so plain depth counting works.
+fn skip_angles(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct('<') {
+            depth += 1;
+        } else if tokens[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if tokens[j].is_punct('{') || tokens[j].is_punct(';') {
+            return j; // malformed; bail at the item boundary
+        }
+        j += 1;
+    }
+    j
+}
+
+fn impl_regions(tokens: &[Token]) -> Vec<ImplRegion> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let is_impl = tokens[i].is_ident("impl");
+        let is_trait = tokens[i].is_ident("trait")
+            && !tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.is_ident("impl"));
+        if !is_impl && !is_trait {
+            continue;
+        }
+        // Walk the header: remember the last path ident seen; `for` marks
+        // everything before it as the trait; generics are skipped whole.
+        let mut last: Option<String> = None;
+        let mut trait_name: Option<String> = None;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                j = skip_angles(tokens, j);
+                continue;
+            }
+            if t.is_ident("for") {
+                trait_name = last.take();
+                j += 1;
+                continue;
+            }
+            if t.is_ident("where") {
+                // Bounds may contain `{`-free paths only; scan to the body.
+                while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                continue;
+            }
+            if t.is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            if let Some(id) = t.ident() {
+                last = Some(id.to_string());
+            }
+            j += 1;
+        }
+        let (Some(open), Some(self_type)) = (open, last) else { continue };
+        if is_trait {
+            // Default methods in `trait Name { … }` belong to the trait.
+            out.push(ImplRegion {
+                self_type,
+                trait_name: None,
+                open,
+                close: match_brace(tokens, open),
+            });
+        } else {
+            out.push(ImplRegion { self_type, trait_name, open, close: match_brace(tokens, open) });
+        }
+    }
+    out
+}
+
+/// `pub` / `unsafe` qualifiers in the few tokens before a `fn` keyword.
+fn fn_qualifiers(tokens: &[Token], fn_idx: usize) -> (bool, bool) {
+    let mut is_pub = false;
+    let mut is_unsafe = false;
+    let mut i = fn_idx;
+    let lo = fn_idx.saturating_sub(10);
+    while i > lo {
+        i -= 1;
+        let t = &tokens[i];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct(']') {
+            break;
+        }
+        if t.is_ident("pub") {
+            is_pub = true;
+        }
+        if t.is_ident("unsafe") {
+            is_unsafe = true;
+        }
+    }
+    (is_pub, is_unsafe)
+}
+
+/// Parse a `use …;` item starting at the `use` keyword at `i`. Appends the
+/// flattened imports to `uses`/`globs` and returns the index just past the
+/// terminating `;`.
+fn parse_use(
+    tokens: &[Token],
+    i: usize,
+    uses: &mut Vec<UseItem>,
+    globs: &mut Vec<Vec<String>>,
+) -> usize {
+    // Find the end of the item first so malformed input can't run away.
+    let mut end = i + 1;
+    let mut depth = 0i64;
+    while end < tokens.len() {
+        match tokens[end].kind {
+            crate::lexer::Tok::Punct('{') => depth += 1,
+            crate::lexer::Tok::Punct('}') => depth -= 1,
+            crate::lexer::Tok::Punct(';') if depth <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    let mut prefix = Vec::new();
+    parse_use_tree(tokens, i + 1, end, &mut prefix, uses, globs);
+    end + 1
+}
+
+/// Recursive `use`-tree walk over tokens `[lo, hi)` with the accumulated
+/// `prefix`. Handles `a::b`, `a as x`, `a::{b, c::d}`, and `a::*`.
+fn parse_use_tree(
+    tokens: &[Token],
+    lo: usize,
+    hi: usize,
+    prefix: &mut Vec<String>,
+    uses: &mut Vec<UseItem>,
+    globs: &mut Vec<Vec<String>>,
+) {
+    let base_len = prefix.len();
+    let mut j = lo;
+    fn flush(uses: &mut Vec<UseItem>, base_len: usize, prefix: &[String], alias: Option<String>) {
+        if prefix.len() > base_len || alias.is_some() {
+            if let Some(last) = prefix.last() {
+                let alias = alias.unwrap_or_else(|| last.clone());
+                uses.push(UseItem { path: prefix.to_vec(), alias });
+            }
+        }
+    }
+    while j < hi {
+        let t = &tokens[j];
+        if let Some(id) = t.ident() {
+            if id == "as" {
+                if let Some(alias) = tokens.get(j + 1).and_then(Token::ident) {
+                    flush(uses, base_len, prefix, Some(alias.to_string()));
+                    prefix.truncate(base_len);
+                    j += 2;
+                    // Skip to the next `,` at this level.
+                    while j < hi && !tokens[j].is_punct(',') {
+                        j += 1;
+                    }
+                    continue;
+                }
+            }
+            prefix.push(id.to_string());
+            j += 1;
+            continue;
+        }
+        if t.is_punct(':') {
+            j += 1; // both halves of `::`
+            continue;
+        }
+        if t.is_punct('*') {
+            if prefix.len() > base_len {
+                globs.push(prefix[..prefix.len()].to_vec());
+            }
+            prefix.truncate(base_len);
+            j += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            let close = match_brace(tokens, j);
+            parse_use_tree(tokens, j + 1, close.min(hi), prefix, uses, globs);
+            prefix.truncate(base_len);
+            j = close + 1;
+            // A group ends its branch: skip to the next `,`.
+            while j < hi && !tokens[j].is_punct(',') {
+                j += 1;
+            }
+            continue;
+        }
+        if t.is_punct(',') {
+            flush(uses, base_len, prefix, None);
+            prefix.truncate(base_len);
+            j += 1;
+            continue;
+        }
+        j += 1;
+    }
+    flush(uses, base_len, prefix, None);
+    prefix.truncate(base_len);
 }
 
 /// Does an `#[cfg(test)]` attribute start at token `i`?

@@ -1,0 +1,772 @@
+//! Symbol resolution: from parsed files to qualified function symbols and
+//! resolved call sites.
+//!
+//! This is deliberately *not* a full Rust name resolver — it is the subset
+//! the interprocedural rules need, tuned to this workspace's idiom:
+//!
+//! * every function/method gets a qualified name `lib::mods…::[Type::]name`
+//!   derived from its filesystem location plus inline `mod`/`impl` context;
+//! * call sites are classified (plain call, `a::b::f(…)` path call,
+//!   `.method(…)` call) and resolved through scoping tiers — same file,
+//!   `use` imports, glob imports, same crate, workspace-wide — recorded per
+//!   edge so the statistics expose how much each heuristic carries;
+//! * method calls resolve to workspace methods with that name, narrowed to
+//!   receiver types *visible* in the calling file (imported, defined, or
+//!   `impl`'d there); when the narrowing would empty the candidate set the
+//!   full fan-out is kept, so the over-approximation dynamic dispatch needs
+//!   survives while unrelated same-name inherent methods drop out.
+//!   Methods whose names collide with common `std` methods (`push`,
+//!   `iter`, …) are treated as external unless the receiver is `self`;
+//!   the trade-off is documented on [`STD_METHODS`].
+//!
+//! Unresolvable sites are never dropped: they are returned with a reason so
+//! the CLI can list them and CI can gate on the resolution rate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Token;
+use crate::parser::ParsedFile;
+
+/// How a call edge was resolved (its scoping tier).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Plain call to a function in the same file.
+    File,
+    /// Plain call resolved through a `use` import.
+    Import,
+    /// Plain call resolved through a glob import.
+    Glob,
+    /// Plain call resolved to a same-crate function (heuristic fallback).
+    Crate,
+    /// Plain call resolved by name anywhere in the workspace (last resort).
+    Global,
+    /// Qualified `a::b::f(…)` path call.
+    Path,
+    /// `self.f(…)` resolved to a method of the enclosing impl type.
+    SelfMethod,
+    /// `.f(…)` resolved to every workspace method named `f`.
+    Method,
+}
+
+impl EdgeKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::File => "file",
+            EdgeKind::Import => "import",
+            EdgeKind::Glob => "glob",
+            EdgeKind::Crate => "crate",
+            EdgeKind::Global => "global",
+            EdgeKind::Path => "path",
+            EdgeKind::SelfMethod => "self_method",
+            EdgeKind::Method => "method",
+        }
+    }
+}
+
+/// One syntactic call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Token index of the callee name.
+    pub tok: usize,
+    pub line: u32,
+    /// Callee name as written (last path segment / method name).
+    pub name: String,
+    /// Leading path segments for qualified calls (`a::b` of `a::b::f`).
+    pub qual: Vec<String>,
+    /// `.name(…)` method-call shape.
+    pub is_method: bool,
+    /// Method receiver is literally `self` (`self.name(…)`).
+    pub self_recv: bool,
+}
+
+/// Identity of a function symbol: its qualified segments.
+#[derive(Clone, Debug)]
+pub struct Symbol {
+    /// `lib::mods…::[Type::]name` as segments.
+    pub segs: Vec<String>,
+    /// Index of the defining file in the input slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub fn_idx: usize,
+}
+
+impl Symbol {
+    pub fn qname(&self) -> String {
+        self.segs.join("::")
+    }
+
+    pub fn name(&self) -> &str {
+        self.segs.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Derive `(lib_name, module_path)` for a repo-relative file path.
+///
+/// `lib_names` maps crate *directory* names (`comm`) to library names
+/// (`dpmd_comm`); unknown directories fall back to `dir` with `-` → `_`,
+/// which is correct for every crate here whose package name matches its
+/// directory. `tests/`, `benches/` and `examples/` targets are their own
+/// crates; they get a synthetic `tests::<stem>` module under the owning
+/// library so their symbols never collide with production ones.
+pub fn module_of(path: &str, lib_names: &BTreeMap<String, String>) -> (String, Vec<String>) {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (lib_dir, rest): (&str, &[&str]) = match parts.as_slice() {
+        ["crates", "shims", dir, rest @ ..] => (dir, rest),
+        ["crates", dir, rest @ ..] => (dir, rest),
+        rest => ("dpmd-repro", rest),
+    };
+    let lib = lib_names
+        .get(lib_dir)
+        .cloned()
+        .unwrap_or_else(|| lib_dir.replace('-', "_"));
+    let mut mods = Vec::new();
+    match rest {
+        ["src", file @ ..] => {
+            for (i, seg) in file.iter().enumerate() {
+                let last = i + 1 == file.len();
+                if last {
+                    let stem = seg.strip_suffix(".rs").unwrap_or(seg);
+                    if !matches!(stem, "lib" | "main" | "mod") {
+                        mods.push(stem.to_string());
+                    }
+                } else {
+                    mods.push(seg.to_string());
+                }
+            }
+        }
+        [kind @ ("tests" | "benches" | "examples"), file @ ..] => {
+            mods.push(kind.to_string());
+            for seg in file {
+                let stem = seg.strip_suffix(".rs").unwrap_or(seg);
+                mods.push(stem.to_string());
+            }
+        }
+        file => {
+            for seg in file {
+                let stem = seg.strip_suffix(".rs").unwrap_or(seg);
+                if !matches!(stem, "lib" | "main" | "mod") {
+                    mods.push(stem.to_string());
+                }
+            }
+        }
+    }
+    (lib, mods)
+}
+
+/// Build the symbol list for one parsed file.
+pub fn file_symbols(
+    file_idx: usize,
+    parsed: &ParsedFile,
+    lib_names: &BTreeMap<String, String>,
+) -> Vec<Symbol> {
+    let (lib, mods) = module_of(&parsed.path, lib_names);
+    parsed
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(fn_idx, f)| {
+            let mut segs = Vec::with_capacity(mods.len() + f.mod_path.len() + 3);
+            segs.push(lib.clone());
+            segs.extend(mods.iter().cloned());
+            segs.extend(f.mod_path.iter().cloned());
+            if let Some(ty) = &f.impl_type {
+                segs.push(ty.clone());
+            }
+            segs.push(f.name.clone());
+            Symbol { segs, file: file_idx, fn_idx }
+        })
+        .collect()
+}
+
+/// Type names in scope in one file: `use` imports whose alias starts
+/// uppercase, types declared in the file (`struct`/`enum`/`trait`/`union`
+/// keywords followed by a name), and the impl/trait types of its functions.
+/// Used to narrow method fan-out to receivers the file could actually name.
+pub fn file_visible_types(parsed: &ParsedFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for u in &parsed.uses {
+        if u.alias.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            out.insert(u.alias.clone());
+        }
+    }
+    for f in &parsed.fns {
+        if let Some(ty) = &f.impl_type {
+            out.insert(ty.clone());
+        }
+        if let Some(tr) = &f.trait_name {
+            out.insert(tr.clone());
+        }
+    }
+    let toks = &parsed.tokens;
+    for i in 0..toks.len() {
+        if toks[i]
+            .ident()
+            .is_some_and(|id| matches!(id, "struct" | "enum" | "trait" | "union"))
+        {
+            if let Some(name) = toks.get(i + 1).and_then(Token::ident) {
+                out.insert(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Keywords and control-flow identifiers that look like `ident (` but are
+/// never calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "fn", "in", "as", "move", "let", "else",
+    "break", "continue", "unsafe", "where", "impl", "dyn", "ref", "mut", "pub", "use", "mod",
+    "crate", "super", "self", "Self", "static", "const", "type", "enum", "struct", "trait",
+    "await", "async", "yield", "box",
+];
+
+/// Tuple-enum constructors that would otherwise pollute the external count.
+const STD_CTORS: &[&str] = &["Some", "Ok", "Err", "None", "Cow", "Bound", "Poll"];
+
+/// Method names owned by `std`/`core` container and iterator APIs. A
+/// `.push(…)` on an unknown receiver is overwhelmingly `Vec::push`, not a
+/// workspace method; resolving such names to every same-named workspace
+/// method would wire the call graph into a near-clique. The cost is a
+/// *documented* blind spot: a workspace method that shadows one of these
+/// names is only resolved when called through `self` or a qualified path.
+const STD_METHODS: &[&str] = &[
+    "push", "pop", "insert", "remove", "get", "get_mut", "len", "is_empty", "iter", "iter_mut",
+    "into_iter", "next", "map", "filter", "fold", "sum", "product", "collect", "extend", "clear",
+    "clone", "to_vec", "to_string", "to_owned", "as_str", "as_ref", "as_mut", "as_slice",
+    "as_bytes", "unwrap", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "expect", "ok",
+    "err", "is_some", "is_none", "is_ok", "is_err", "and_then", "or_else", "ok_or",
+    "ok_or_else", "take", "replace", "contains", "contains_key", "starts_with", "ends_with",
+    "split", "join", "trim", "parse", "chars", "bytes", "lines", "entry", "or_insert",
+    "or_insert_with", "keys", "values", "values_mut", "drain", "retain", "sort", "sort_by",
+    "sort_by_key", "sort_unstable", "sort_unstable_by", "sort_unstable_by_key", "binary_search",
+    "binary_search_by", "chunks", "chunks_exact", "chunks_mut", "windows", "first", "last",
+    "split_at", "split_at_mut", "swap", "reverse", "resize", "truncate", "reserve",
+    "with_capacity", "zip", "enumerate", "rev", "skip", "step_by", "copied", "cloned",
+    "flat_map", "flatten", "any", "all", "find", "position", "count", "min", "max", "min_by",
+    "max_by", "min_by_key", "max_by_key", "abs", "sqrt", "powi", "powf", "exp", "ln", "floor",
+    "ceil", "round", "mul_add", "to_bits", "from_bits", "max_element", "lock", "read", "write",
+    "try_lock", "borrow", "borrow_mut", "fetch_add", "fetch_sub", "load", "store", "wrapping_add",
+    "wrapping_sub", "wrapping_mul", "saturating_add", "saturating_sub", "checked_add",
+    "checked_sub", "checked_mul", "checked_div", "rem_euclid", "div_euclid", "to_le_bytes",
+    "to_be_bytes", "from_le_bytes", "write_all", "write_str", "read_to_string", "flush",
+    "display", "fmt", "eq", "ne", "cmp", "partial_cmp", "hash", "default", "min_element",
+    "elapsed", "as_secs_f64", "as_nanos", "as_micros", "as_millis", "duration_since",
+    "saturating_duration_since", "checked_duration_since", "dedup", "dedup_by_key", "dedup_by",
+    "fill", "copy_from_slice", "clone_from_slice", "splice", "append", "concat", "repeat",
+    "find_map", "filter_map", "peekable", "peek", "nth", "chain", "cycle", "by_ref", "inspect",
+    "scan", "take_while", "skip_while", "partition", "unzip", "is_finite", "is_nan",
+    "is_infinite", "signum", "hypot", "atan2", "sin", "cos", "tan", "tanh", "cosh", "sinh",
+    "cbrt", "recip", "to_degrees", "to_radians", "clamp", "is_char_boundary", "char_indices",
+    "split_whitespace", "splitn", "rsplitn", "strip_prefix", "strip_suffix", "trim_start",
+    "trim_end", "trim_start_matches", "trim_end_matches", "to_ascii_lowercase",
+    "to_ascii_uppercase", "to_lowercase", "to_uppercase", "is_dir", "is_file", "exists",
+    "components", "file_name", "to_string_lossy", "into_owned", "into_keys", "into_values",
+];
+
+/// Extract call sites from the token range `[lo, hi)` of one function body.
+pub fn call_sites(tokens: &[Token], lo: usize, hi: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi.min(tokens.len()) {
+        let t = &tokens[i];
+        let Some(name) = t.ident() else {
+            i += 1;
+            continue;
+        };
+        if NOT_CALLS.contains(&name) || STD_CTORS.contains(&name) {
+            i += 1;
+            continue;
+        }
+        // Macro invocation name: `name!(…)` — not a function call. The
+        // arguments are still scanned (real calls live inside them).
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            i += 1;
+            continue;
+        }
+        // Definition, not a call: `fn name(` — the parser owns those.
+        if i > 0 && tokens[i - 1].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // Turbofish: `name::<T>(…)` / `.name::<T>(…)`.
+        let after = if tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('<'))
+        {
+            crate::parser::match_angle(tokens, i + 3) + 1
+        } else {
+            i + 1
+        };
+        if !tokens.get(after).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let is_method = i > 0 && tokens[i - 1].is_punct('.');
+        if is_method {
+            let self_recv = i >= 2 && tokens[i - 2].is_ident("self");
+            out.push(CallSite {
+                tok: i,
+                line: t.line,
+                name: name.to_string(),
+                qual: Vec::new(),
+                is_method: true,
+                self_recv,
+            });
+            i = after;
+            continue;
+        }
+        // Qualified path: walk back over `seg ::` pairs.
+        let mut qual = Vec::new();
+        let mut j = i;
+        while j >= 2
+            && tokens[j - 1].is_punct(':')
+            && tokens[j - 2].is_punct(':')
+            && j >= 3
+            && tokens[j - 3].ident().is_some()
+        {
+            qual.push(tokens[j - 3].ident().unwrap_or_default().to_string());
+            j -= 3;
+        }
+        qual.reverse();
+        // `Some(…)`-style construction after a path (e.g. `Option::Some`)
+        // is still not a call; a capitalized terminal with a capitalized
+        // qualifier head is typically `Enum::Variant(…)` — keep those,
+        // resolution classifies them as external.
+        out.push(CallSite {
+            tok: i,
+            line: t.line,
+            name: name.to_string(),
+            qual,
+            is_method: false,
+            self_recv: false,
+        });
+        i = after;
+    }
+    out
+}
+
+/// Outcome of resolving one call site.
+#[derive(Clone, Debug)]
+pub enum Resolution {
+    /// Resolved to one or more workspace symbols (ambiguity keeps all —
+    /// the conservative direction for reachability rules).
+    Resolved { targets: Vec<usize>, kind: EdgeKind },
+    /// No workspace symbol can be the callee (std / shim / closure call).
+    External,
+    /// The site *looks* workspace-bound (a known library name in its path,
+    /// or a workspace-colliding plain name that scoping rejected) but no
+    /// target was found. Listed, never silently dropped.
+    Unresolved { reason: String },
+}
+
+/// Workspace-wide symbol index.
+pub struct Resolver {
+    /// All symbols, in file order (stable: files are pre-sorted by path).
+    pub symbols: Vec<Symbol>,
+    /// name → symbol indices.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Known library names (first path segment of absolute paths).
+    lib_names: Vec<String>,
+    /// Per file: `(lib, mods)` from `module_of`.
+    pub file_mods: Vec<(String, Vec<String>)>,
+    /// Per file: type names in scope (imports with an uppercase initial,
+    /// plus types defined or `impl`'d in the file). Used to narrow method
+    /// fan-out to receivers the caller could actually name.
+    visible_types: Vec<BTreeSet<String>>,
+}
+
+impl Resolver {
+    pub fn new(files: &[ParsedFile], lib_names_map: &BTreeMap<String, String>) -> Resolver {
+        let mut symbols = Vec::new();
+        let mut file_mods = Vec::new();
+        let mut visible_types = Vec::new();
+        for (i, f) in files.iter().enumerate() {
+            symbols.extend(file_symbols(i, f, lib_names_map));
+            file_mods.push(module_of(&f.path, lib_names_map));
+            visible_types.push(file_visible_types(f));
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, s) in symbols.iter().enumerate() {
+            by_name.entry(s.name().to_string()).or_default().push(i);
+        }
+        let mut lib_names: Vec<String> = file_mods.iter().map(|(l, _)| l.clone()).collect();
+        lib_names.sort();
+        lib_names.dedup();
+        Resolver { symbols, by_name, lib_names, file_mods, visible_types }
+    }
+
+    fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Symbols whose qualified segments end with `want` (segment-aligned).
+    fn suffix_matches(&self, want: &[String]) -> Vec<usize> {
+        let Some(last) = want.last() else { return Vec::new() };
+        self.named(last)
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let segs = &self.symbols[i].segs;
+                segs.len() >= want.len() && segs[segs.len() - want.len()..] == *want
+            })
+            .collect()
+    }
+
+    /// Normalize a path's leading `crate`/`self`/`super` against the call
+    /// site's own module, and expand a leading `use`-imported alias.
+    fn absolutize(
+        &self,
+        qual_and_name: &[String],
+        file: &ParsedFile,
+        file_idx: usize,
+    ) -> Vec<Vec<String>> {
+        let (lib, mods) = &self.file_mods[file_idx];
+        let mut cands = Vec::new();
+        let first = qual_and_name.first().map(String::as_str).unwrap_or("");
+        match first {
+            "crate" => {
+                let mut p = vec![lib.clone()];
+                p.extend(qual_and_name[1..].iter().cloned());
+                cands.push(p);
+            }
+            "self" => {
+                let mut p = vec![lib.clone()];
+                p.extend(mods.iter().cloned());
+                p.extend(qual_and_name[1..].iter().cloned());
+                cands.push(p);
+            }
+            "super" => {
+                let mut p = vec![lib.clone()];
+                let take = mods.len().saturating_sub(1);
+                p.extend(mods[..take].iter().cloned());
+                p.extend(qual_and_name[1..].iter().cloned());
+                cands.push(p);
+            }
+            _ => {
+                // A `use a::b::c;` alias expands `c::f` → `a::b::c::f`.
+                for u in &file.uses {
+                    if u.alias == first {
+                        let mut p = u.path.clone();
+                        p.extend(qual_and_name[1..].iter().cloned());
+                        cands.push(p);
+                    }
+                }
+                // The path as written (absolute or crate-root-relative).
+                cands.push(qual_and_name.to_vec());
+                // Child-module call: `helpers::f()` from module `m` means
+                // `lib::m::helpers::f`.
+                let mut p = vec![lib.clone()];
+                p.extend(mods.iter().cloned());
+                p.extend(qual_and_name.iter().cloned());
+                cands.push(p);
+            }
+        }
+        cands
+    }
+
+    /// Resolve one call site appearing in `file` (`file_idx`), from within
+    /// the function `in_fn` (index into that file's `fns`, if known).
+    pub fn resolve(
+        &self,
+        site: &CallSite,
+        file: &ParsedFile,
+        file_idx: usize,
+        in_fn: Option<usize>,
+    ) -> Resolution {
+        if site.is_method {
+            return self.resolve_method(site, file, file_idx, in_fn);
+        }
+        if !site.qual.is_empty() {
+            return self.resolve_path(site, file, file_idx);
+        }
+        self.resolve_plain(site, file, file_idx)
+    }
+
+    fn resolve_method(
+        &self,
+        site: &CallSite,
+        file: &ParsedFile,
+        file_idx: usize,
+        in_fn: Option<usize>,
+    ) -> Resolution {
+        // `self.f(…)`: prefer methods of the enclosing impl type.
+        if site.self_recv {
+            if let Some(fi) = in_fn {
+                if let Some(ty) = file.fns.get(fi).and_then(|f| f.impl_type.clone()) {
+                    let targets: Vec<usize> = self
+                        .named(&site.name)
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            let s = &self.symbols[i];
+                            s.segs.len() >= 2 && s.segs[s.segs.len() - 2] == ty
+                        })
+                        .collect();
+                    if !targets.is_empty() {
+                        return Resolution::Resolved { targets, kind: EdgeKind::SelfMethod };
+                    }
+                }
+            }
+        }
+        if STD_METHODS.contains(&site.name.as_str()) && !site.self_recv {
+            return Resolution::External;
+        }
+        // Any workspace *method* with this name (trait impls fan out —
+        // the right over-approximation for dynamic dispatch).
+        let targets: Vec<usize> = self
+            .named(&site.name)
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let s = &self.symbols[i];
+                // A method symbol carries its impl type as the segment
+                // before the name: `lib::…::Type::name` has len ≥ 3 and an
+                // uppercase-initial penultimate segment.
+                s.segs.len() >= 3
+                    && s.segs[s.segs.len() - 2]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
+            })
+            .collect();
+        // Narrow to receiver types the calling file can actually name
+        // (imported, defined, or impl'd there). An empty narrowing keeps
+        // the full fan-out — re-exports and trait objects whose impl types
+        // are elsewhere must stay over-approximated, not dropped.
+        let visible = &self.visible_types[file_idx];
+        let narrowed: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let s = &self.symbols[i];
+                visible.contains(&s.segs[s.segs.len() - 2])
+            })
+            .collect();
+        let targets = if narrowed.is_empty() { targets } else { narrowed };
+        if targets.is_empty() {
+            Resolution::External
+        } else {
+            Resolution::Resolved { targets, kind: EdgeKind::Method }
+        }
+    }
+
+    fn resolve_path(&self, site: &CallSite, file: &ParsedFile, file_idx: usize) -> Resolution {
+        let mut want = site.qual.clone();
+        want.push(site.name.clone());
+        for cand in self.absolutize(&want, file, file_idx) {
+            let hits = self.suffix_matches(&cand);
+            if !hits.is_empty() {
+                return Resolution::Resolved { targets: hits, kind: EdgeKind::Path };
+            }
+        }
+        // Bare `Type::method` / `mod::f` with no exact match: fall back to
+        // a raw suffix match on the written path.
+        let hits = self.suffix_matches(&want);
+        if !hits.is_empty() {
+            return Resolution::Resolved { targets: hits, kind: EdgeKind::Path };
+        }
+        let head = want.first().map(String::as_str).unwrap_or("");
+        let workspace_head = self.lib_names.iter().any(|l| l == head)
+            || matches!(head, "crate" | "self" | "super");
+        if workspace_head {
+            Resolution::Unresolved {
+                reason: format!("workspace path `{}` matches no symbol", want.join("::")),
+            }
+        } else {
+            Resolution::External
+        }
+    }
+
+    fn resolve_plain(&self, site: &CallSite, file: &ParsedFile, file_idx: usize) -> Resolution {
+        let name = site.name.as_str();
+        // Tier 1: same file (innermost-scope approximation).
+        let same_file: Vec<usize> = self
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&i| self.symbols[i].file == file_idx)
+            .filter(|&i| file.fns[self.symbols[i].fn_idx].impl_type.is_none())
+            .collect();
+        if !same_file.is_empty() {
+            return Resolution::Resolved { targets: same_file, kind: EdgeKind::File };
+        }
+        // Tier 2: `use` import.
+        for u in &file.uses {
+            if u.alias == name {
+                let hits = self.suffix_matches(&u.path);
+                if !hits.is_empty() {
+                    return Resolution::Resolved { targets: hits, kind: EdgeKind::Import };
+                }
+            }
+        }
+        // Tier 3: glob imports.
+        for g in &file.globs {
+            let mut p = g.clone();
+            // Normalize `use super::*;` / `use crate::…::*;` heads.
+            let expanded = self.absolutize(
+                &{
+                    p.push(name.to_string());
+                    p
+                },
+                file,
+                file_idx,
+            );
+            for cand in expanded {
+                let hits = self.suffix_matches(&cand);
+                if !hits.is_empty() {
+                    return Resolution::Resolved { targets: hits, kind: EdgeKind::Glob };
+                }
+            }
+        }
+        // One- and two-letter plain names past this point are overwhelmingly
+        // closure parameters / local bindings being called (`f()`, `op()`),
+        // not free functions in another file — resolving them through the
+        // cross-file tiers would wire every higher-order helper to every
+        // short-named function in the workspace.
+        if name.len() <= 2 {
+            return Resolution::External;
+        }
+        // Tier 4: free function elsewhere in the same crate.
+        let lib = &self.file_mods[file_idx].0;
+        let same_crate: Vec<usize> = self
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let s = &self.symbols[i];
+                s.segs.first() == Some(lib)
+                    && s.segs.len() >= 2
+                    && !s.segs[s.segs.len() - 2]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
+            })
+            .collect();
+        if !same_crate.is_empty() {
+            return Resolution::Resolved { targets: same_crate, kind: EdgeKind::Crate };
+        }
+        // Tier 5: anywhere in the workspace (keeps the graph sound when a
+        // re-export obscures the true home; recorded as `global` so the
+        // stats expose how often this last resort fires).
+        let anywhere: Vec<usize> = self
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let s = &self.symbols[i];
+                s.segs.len() < 2
+                    || !s.segs[s.segs.len() - 2]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
+            })
+            .collect();
+        if !anywhere.is_empty() {
+            return Resolution::Resolved { targets: anywhere, kind: EdgeKind::Global };
+        }
+        Resolution::External
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn module_paths_from_file_paths() {
+        let m = BTreeMap::from([("comm".to_string(), "dpmd_comm".to_string())]);
+        assert_eq!(module_of("crates/comm/src/lib.rs", &m), ("dpmd_comm".into(), vec![]));
+        assert_eq!(
+            module_of("crates/nnet/src/gemm/mod.rs", &m),
+            ("nnet".into(), vec!["gemm".into()])
+        );
+        assert_eq!(
+            module_of("crates/nnet/src/gemm/blocked.rs", &m),
+            ("nnet".into(), vec!["gemm".into(), "blocked".into()])
+        );
+        assert_eq!(
+            module_of("crates/analyze/tests/fixture_rules.rs", &m),
+            ("analyze".into(), vec!["tests".into(), "fixture_rules".into()])
+        );
+        assert_eq!(module_of("src/lib.rs", &m), ("dpmd_repro".into(), vec![]));
+    }
+
+    #[test]
+    fn call_sites_classify_plain_path_method() {
+        let p = parse_file(
+            "crates/x/src/lib.rs",
+            "fn f() { helper(); a::b::g(); self.step(); v.push(1); items.collect::<Vec<_>>(); }",
+        );
+        let (lo, hi) = p.fns[0].body.unwrap();
+        let sites = call_sites(&p.tokens, lo, hi);
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "g", "step", "push", "collect"]);
+        assert_eq!(sites[1].qual, vec!["a".to_string(), "b".to_string()]);
+        assert!(sites[2].is_method && sites[2].self_recv);
+        assert!(sites[3].is_method && !sites[3].self_recv);
+        assert!(sites[4].is_method);
+    }
+
+    #[test]
+    fn resolver_prefers_same_file_then_imports() {
+        let a = parse_file(
+            "crates/alpha/src/lib.rs",
+            "use beta::helpers::shared;\nfn local() {}\nfn run() { local(); shared(); }\n",
+        );
+        let b = parse_file("crates/beta/src/helpers.rs", "pub fn shared() {}\n");
+        let files = vec![a, b];
+        let r = Resolver::new(&files, &BTreeMap::new());
+        let (lo, hi) = files[0].fns[1].body.unwrap();
+        let sites = call_sites(&files[0].tokens, lo, hi);
+        match r.resolve(&sites[0], &files[0], 0, Some(1)) {
+            Resolution::Resolved { targets, kind } => {
+                assert_eq!(kind, EdgeKind::File);
+                assert_eq!(r.symbols[targets[0]].qname(), "alpha::local");
+            }
+            other => panic!("{other:?}"),
+        }
+        match r.resolve(&sites[1], &files[0], 0, Some(1)) {
+            Resolution::Resolved { targets, kind } => {
+                assert_eq!(kind, EdgeKind::Import);
+                assert_eq!(r.symbols[targets[0]].qname(), "beta::helpers::shared");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_trait_impls() {
+        let src = "pub trait K { fn go(&self); }\n\
+                   pub struct A; impl K for A { fn go(&self) {} }\n\
+                   pub struct B; impl K for B { fn go(&self) {} }\n\
+                   pub fn drive(k: &dyn K) { k.go(); }\n";
+        let f = parse_file("crates/x/src/lib.rs", src);
+        let files = vec![f];
+        let r = Resolver::new(&files, &BTreeMap::new());
+        let drive = files[0].fns.iter().position(|f| f.name == "drive").unwrap();
+        let (lo, hi) = files[0].fns[drive].body.unwrap();
+        let sites = call_sites(&files[0].tokens, lo, hi);
+        match r.resolve(&sites[0], &files[0], 0, Some(drive)) {
+            Resolution::Resolved { targets, kind } => {
+                assert_eq!(kind, EdgeKind::Method);
+                let mut q: Vec<String> =
+                    targets.iter().map(|&t| r.symbols[t].qname()).collect();
+                q.sort();
+                assert_eq!(q, vec!["x::A::go", "x::B::go", "x::K::go"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn std_methods_on_unknown_receivers_are_external() {
+        let f = parse_file("crates/x/src/lib.rs", "fn f(v: &mut Vec<u32>) { v.push(1); }");
+        let files = vec![f];
+        let r = Resolver::new(&files, &BTreeMap::new());
+        let (lo, hi) = files[0].fns[0].body.unwrap();
+        let sites = call_sites(&files[0].tokens, lo, hi);
+        assert!(matches!(r.resolve(&sites[0], &files[0], 0, Some(0)), Resolution::External));
+    }
+}
+

@@ -10,11 +10,18 @@
 //! D1–D5 are per-file. D6 (lock order) collects acquisition edges per file
 //! and the caller runs [`lock_cycles`] over the merged graph, because a
 //! deadlock needs two sites that may live in different crates.
+//!
+//! D7–D10 are *interprocedural*: they run as reachability/taint queries
+//! over the workspace call graph ([`crate::graph::CallGraph`]) via
+//! [`graph_rules`] — transitive hot-path allocation (D7), wall-clock taint
+//! (D8), unsafe-surface escape audit (D9), and lock-order cycles lifted to
+//! lock sets accumulated along real call chains (D10).
 
 use std::collections::BTreeSet;
 
 use crate::config::Config;
 use crate::diag::{Finding, RuleId};
+use crate::graph::{CallGraph, NodeId};
 use crate::lexer::{Tok, Token};
 use crate::parser::{match_paren, FnItem, ParsedFile, UnsafeKind};
 
@@ -527,6 +534,73 @@ const ALLOC_TYPES: &[&str] =
 const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
 const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "clone", "collect"];
 
+/// Allocation evidence at token `i`: an `ALLOC_TYPES::ctor` path, a
+/// `vec!`/`format!` macro, or an allocating method call. Returns a human
+/// label for the site. Shared by D5 (direct) and D7 (transitive).
+fn alloc_hit(tokens: &[Token], i: usize) -> Option<String> {
+    let t = &tokens[i];
+    if t.ident().is_some_and(|id| ALLOC_TYPES.contains(&id))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens
+            .get(i + 3)
+            .is_some_and(|t| t.ident().is_some_and(|m| ALLOC_CTORS.contains(&m)))
+    {
+        return Some(format!(
+            "`{}::{}`",
+            t.ident().unwrap_or_default(),
+            tokens[i + 3].ident().unwrap_or_default()
+        ));
+    }
+    if (t.is_ident("vec") || t.is_ident("format"))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+    {
+        return Some(format!("`{}!`", t.ident().unwrap_or_default()));
+    }
+    if t.is_punct('.')
+        && tokens
+            .get(i + 1)
+            .is_some_and(|t| t.ident().is_some_and(|m| ALLOC_METHODS.contains(&m)))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+    {
+        return Some(format!("`.{}()`", tokens[i + 1].ident().unwrap_or_default()));
+    }
+    None
+}
+
+/// All allocation sites `(line, label)` in the token range `[lo, hi)`.
+pub fn alloc_sites(tokens: &[Token], lo: usize, hi: usize) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi.min(tokens.len()) {
+        if let Some(what) = alloc_hit(tokens, i) {
+            out.push((tokens[i].line, what));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// All direct wall-clock reads `(line, label)` in `[lo, hi)` — the
+/// `Instant::now`-style shapes D4 polices, collected per function for the
+/// call-graph nodes.
+pub fn clock_sites(tokens: &[Token], lo: usize, hi: usize) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.ident().is_some_and(|id| CLOCK_TYPES.contains(&id))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push((t.line, format!("`{}::now`", t.ident().unwrap_or_default())));
+        }
+        i += 1;
+    }
+    out
+}
+
 fn rule_d5(parsed: &ParsedFile, src: &str, cfg: &Config, out: &mut Vec<Finding>) {
     let hotpaths = cfg.hotpaths_for(&parsed.path);
     if hotpaths.is_empty() {
@@ -539,35 +613,8 @@ fn rule_d5(parsed: &ParsedFile, src: &str, cfg: &Config, out: &mut Vec<Finding>)
         }
         let mut i = lo;
         while i < hi {
-            let t = &tokens[i];
-            let line = t.line;
-            let hit = if t.ident().is_some_and(|id| ALLOC_TYPES.contains(&id))
-                && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
-                && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
-                && tokens
-                    .get(i + 3)
-                    .is_some_and(|t| t.ident().is_some_and(|m| ALLOC_CTORS.contains(&m)))
-            {
-                Some(format!(
-                    "`{}::{}`",
-                    t.ident().unwrap_or_default(),
-                    tokens[i + 3].ident().unwrap_or_default()
-                ))
-            } else if (t.is_ident("vec") || t.is_ident("format"))
-                && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
-            {
-                Some(format!("`{}!`", t.ident().unwrap_or_default()))
-            } else if t.is_punct('.')
-                && tokens
-                    .get(i + 1)
-                    .is_some_and(|t| t.ident().is_some_and(|m| ALLOC_METHODS.contains(&m)))
-                && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
-            {
-                Some(format!("`.{}()`", tokens[i + 1].ident().unwrap_or_default()))
-            } else {
-                None
-            };
-            if let Some(what) = hit {
+            if let Some(what) = alloc_hit(tokens, i) {
+                let line = tokens[i].line;
                 if !parsed.allowed("D5", line) {
                     out.push(finding(
                         parsed,
@@ -600,111 +647,162 @@ fn crate_of(path: &str) -> &str {
     }
 }
 
-/// Collect held→acquired edges from one file. A guard bound with `let`
-/// stays held to the end of its enclosing block (or an explicit `drop`);
-/// a statement-temporary guard is released at the `;`.
-fn lock_edges(parsed: &ParsedFile, lock_names: &BTreeSet<String>) -> Vec<LockEdge> {
+/// Lock bindings (`Mutex`/`RwLock` containers) named in one file — public
+/// so the call-graph builder shares D6's binding detection.
+pub fn lock_container_names(parsed: &ParsedFile) -> BTreeSet<String> {
+    container_names(parsed, &["Mutex", "RwLock"])
+}
+
+/// Lock activity of one function body: the held→acquired edges observed
+/// inside it (D6 input), the set of keys it acquires at all (the D10
+/// `may_acquire` seed), and the held lock set at each requested call site.
+#[derive(Debug, Default)]
+pub struct LockActivity {
+    pub edges: Vec<LockEdge>,
+    pub acquires: BTreeSet<String>,
+    /// `(index into site_toks, held keys)` per requested site, in order.
+    pub held_at_site: Vec<(usize, Vec<String>)>,
+}
+
+/// Run the guard-tracking state machine over one body `[lo, hi)`. A guard
+/// bound with `let` stays held to the end of its enclosing block (or an
+/// explicit `drop`); a statement-temporary guard is released at the `;`.
+/// `site_toks` are token indices (ascending) at which to record the held
+/// set — the call-graph builder passes its call sites.
+pub fn lock_activity(
+    parsed: &ParsedFile,
+    lock_names: &BTreeSet<String>,
+    lo: usize,
+    hi: usize,
+    site_toks: &[usize],
+) -> LockActivity {
     struct Held {
         key: String,
         depth: i64,
         until_semi: bool,
         guard: Option<String>,
     }
+    let mut act = LockActivity::default();
+    if lock_names.is_empty() {
+        return act;
+    }
     let tokens = &parsed.tokens;
     let krate = crate_of(&parsed.path).to_string();
-    let mut edges: Vec<LockEdge> = Vec::new();
-    if lock_names.is_empty() {
-        return edges;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i64;
+    let mut next_site = 0usize;
+    let mut i = lo;
+    while i < hi {
+        let t = &tokens[i];
+        match t.kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            Tok::Punct(';') => held.retain(|h| !h.until_semi),
+            _ => {}
+        }
+        // `drop(guard)` releases early.
+        if t.is_ident("drop") && tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(g) = tokens.get(i + 2).and_then(Token::ident) {
+                held.retain(|h| h.guard.as_deref() != Some(g));
+            }
+        }
+        while next_site < site_toks.len() && site_toks[next_site] < i {
+            next_site += 1;
+        }
+        if next_site < site_toks.len() && site_toks[next_site] == i {
+            act.held_at_site
+                .push((next_site, held.iter().map(|h| h.key.clone()).collect()));
+            next_site += 1;
+        }
+        // Acquisition: `name.lock()` / `.read()` / `.write()` (no-arg —
+        // distinguishes RwLock::write from io::Write::write).
+        let acquires = t.ident().is_some_and(|id| lock_names.contains(id))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|t| {
+                t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")
+            })
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct(')'));
+        if acquires {
+            let key = format!("{krate}::{}", t.ident().unwrap_or_default());
+            let line = t.line;
+            act.acquires.insert(key.clone());
+            for h in &held {
+                if h.key != key {
+                    act.edges.push(LockEdge {
+                        held: h.key.clone(),
+                        acquired: key.clone(),
+                        path: parsed.path.clone(),
+                        line,
+                        allowed: parsed.allowed("D6", line),
+                    });
+                }
+            }
+            // Guard or temporary? `let g = name.lock()…;` holds on.
+            let s = stmt_start(tokens, i);
+            let is_let = tokens[s..i].iter().any(|t| t.is_ident("let"));
+            let guard = if is_let {
+                // Last ident before `=` is the bound guard (handles
+                // `let g =` and `if let Ok(g) =`).
+                let mut name = None;
+                for t in &tokens[s..i] {
+                    if t.is_punct('=') {
+                        break;
+                    }
+                    if let Some(n) = t.ident() {
+                        if !matches!(n, "let" | "mut" | "if" | "while" | "Ok" | "Some") {
+                            name = Some(n.to_string());
+                        }
+                    }
+                }
+                name
+            } else {
+                None
+            };
+            held.push(Held {
+                key,
+                depth,
+                until_semi: !is_let,
+                guard,
+            });
+        }
+        i += 1;
     }
-    for (f, lo, hi) in parsed
+    act
+}
+
+/// Collect held→acquired edges from one file (all non-test bodies).
+fn lock_edges(parsed: &ParsedFile, lock_names: &BTreeSet<String>) -> Vec<LockEdge> {
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (_f, lo, hi) in parsed
         .fns
         .iter()
         .filter(|f| !f.is_test)
         .filter_map(|f| f.body.map(|(a, b)| (f, a, b)))
     {
-        let _ = f;
-        let mut held: Vec<Held> = Vec::new();
-        let mut depth = 0i64;
-        let mut i = lo;
-        while i < hi {
-            let t = &tokens[i];
-            match t.kind {
-                Tok::Punct('{') => depth += 1,
-                Tok::Punct('}') => {
-                    depth -= 1;
-                    held.retain(|h| h.depth <= depth);
-                }
-                Tok::Punct(';') => held.retain(|h| !h.until_semi),
-                _ => {}
-            }
-            // `drop(guard)` releases early.
-            if t.is_ident("drop")
-                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
-            {
-                if let Some(g) = tokens.get(i + 2).and_then(Token::ident) {
-                    held.retain(|h| h.guard.as_deref() != Some(g));
-                }
-            }
-            // Acquisition: `name.lock()` / `.read()` / `.write()` (no-arg —
-            // distinguishes RwLock::write from io::Write::write).
-            let acquires = t.ident().is_some_and(|id| lock_names.contains(id))
-                && tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
-                && tokens.get(i + 2).is_some_and(|t| {
-                    t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")
-                })
-                && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
-                && tokens.get(i + 4).is_some_and(|t| t.is_punct(')'));
-            if acquires {
-                let key = format!("{krate}::{}", t.ident().unwrap_or_default());
-                let line = t.line;
-                for h in &held {
-                    if h.key != key {
-                        edges.push(LockEdge {
-                            held: h.key.clone(),
-                            acquired: key.clone(),
-                            path: parsed.path.clone(),
-                            line,
-                            allowed: parsed.allowed("D6", line),
-                        });
-                    }
-                }
-                // Guard or temporary? `let g = name.lock()…;` holds on.
-                let s = stmt_start(tokens, i);
-                let is_let = tokens[s..i].iter().any(|t| t.is_ident("let"));
-                let guard = if is_let {
-                    // Last ident before `=` is the bound guard (handles
-                    // `let g =` and `if let Ok(g) =`).
-                    let mut name = None;
-                    for t in &tokens[s..i] {
-                        if t.is_punct('=') {
-                            break;
-                        }
-                        if let Some(n) = t.ident() {
-                            if !matches!(n, "let" | "mut" | "if" | "while" | "Ok" | "Some") {
-                                name = Some(n.to_string());
-                            }
-                        }
-                    }
-                    name
-                } else {
-                    None
-                };
-                held.push(Held {
-                    key,
-                    depth,
-                    until_semi: !is_let,
-                    guard,
-                });
-            }
-            i += 1;
-        }
+        edges.extend(lock_activity(parsed, lock_names, lo, hi, &[]).edges);
     }
     edges
 }
 
-/// Find cycles in the merged lock-order graph; one finding per cycle. Any
-/// edge in the cycle carrying a `dpmd-allow D6` justification suppresses it.
-pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Finding> {
+/// One detected lock-order cycle: its canonical id (sorted member set) and
+/// a representative edge to anchor the diagnostic.
+struct CycleHit {
+    id: String,
+    held: String,
+    acquired: String,
+    path: String,
+    line: u32,
+}
+
+/// Detect cycles in a lock-order edge set. Returns the unallowed cycles
+/// (one per canonical member set) and the full id set *including* allowed
+/// cycles — D10 subtracts the latter so an intra-file cycle (reported or
+/// blessed as D6) is never re-reported interprocedurally.
+fn cycle_hits(edges: &[LockEdge]) -> (Vec<CycleHit>, BTreeSet<String>) {
     // Dedup parallel edges, keep first site.
     let mut uniq: Vec<&LockEdge> = Vec::new();
     for e in edges {
@@ -712,15 +810,6 @@ pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Finding> {
             uniq.push(e);
         }
     }
-    let mut nodes: Vec<&str> = Vec::new();
-    for e in &uniq {
-        for n in [e.held.as_str(), e.acquired.as_str()] {
-            if !nodes.contains(&n) {
-                nodes.push(n);
-            }
-        }
-    }
-    nodes.sort_unstable();
 
     // DFS cycle detection: for each ordered pair (a, b) with an edge a→b,
     // a cycle exists iff b reaches a. Small graphs; quadratic is fine.
@@ -742,8 +831,8 @@ pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Finding> {
         false
     };
 
-    let mut out = Vec::new();
-    let mut reported: BTreeSet<String> = BTreeSet::new();
+    let mut hits = Vec::new();
+    let mut all_ids: BTreeSet<String> = BTreeSet::new();
     for e in &uniq {
         if !reaches(&e.acquired, &e.held) {
             continue;
@@ -758,7 +847,7 @@ pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Finding> {
         members.sort_unstable();
         members.dedup();
         let id = members.join(" -> ");
-        if !reported.insert(id.clone()) {
+        if !all_ids.insert(id.clone()) {
             continue;
         }
         let cycle_allowed = uniq.iter().any(|x| {
@@ -767,19 +856,356 @@ pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Finding> {
         if cycle_allowed {
             continue;
         }
-        out.push(Finding {
-            rule: RuleId::D6,
+        hits.push(CycleHit {
+            id,
+            held: e.held.clone(),
+            acquired: e.acquired.clone(),
             path: e.path.clone(),
             line: e.line,
+        });
+    }
+    (hits, all_ids)
+}
+
+/// Find cycles in the merged lock-order graph; one finding per cycle. Any
+/// edge in the cycle carrying a `dpmd-allow D6` justification suppresses it.
+pub fn lock_cycles(edges: &[LockEdge]) -> Vec<Finding> {
+    let (hits, _) = cycle_hits(edges);
+    hits.into_iter()
+        .map(|h| Finding {
+            rule: RuleId::D6,
+            path: h.path,
+            line: h.line,
             message: format!(
-                "lock-order cycle {{{id}}}: `{}` acquired while holding `{}` — a thread \
+                "lock-order cycle {{{}}}: `{}` acquired while holding `{}` — a thread \
                  taking them in the opposite order deadlocks",
-                e.acquired, e.held
+                h.id, h.acquired, h.held
+            ),
+            snippet: String::new(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// D7–D10 — interprocedural rules over the workspace call graph.
+// ---------------------------------------------------------------------------
+
+/// Run the call-graph rules. `files` are the parsed inputs the graph was
+/// built over (same order), `srcs` the matching source texts (for
+/// snippets), `intra` the merged per-file D6 lock edges.
+pub fn graph_rules(
+    g: &CallGraph,
+    files: &[ParsedFile],
+    srcs: &[String],
+    cfg: &Config,
+    intra: &[LockEdge],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule_d7(g, files, srcs, cfg, &mut out);
+    rule_d8(g, files, srcs, cfg, &mut out);
+    rule_d9(g, files, srcs, cfg, &mut out);
+    rule_d10(g, cfg, intra, &mut out);
+    out
+}
+
+fn graph_finding(
+    g: &CallGraph,
+    files: &[ParsedFile],
+    srcs: &[String],
+    rule: RuleId,
+    node: NodeId,
+    line: u32,
+    message: String,
+) -> Finding {
+    let n = &g.nodes[node];
+    Finding {
+        rule,
+        path: n.path.clone(),
+        line,
+        message,
+        snippet: files[n.file].source_line(&srcs[n.file], line).to_string(),
+    }
+}
+
+/// D7 — transitive hot-path allocation. Every function reachable from a
+/// registered hot path (depth ≥ 1; the root itself is D5's) must be
+/// allocation-free, unless its file is under a `d7_alloc_allow` prefix or
+/// the site carries an inline `dpmd-allow D7`.
+fn rule_d7(
+    g: &CallGraph,
+    files: &[ParsedFile],
+    srcs: &[String],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    let roots = g.hotpath_roots(cfg);
+    if roots.is_empty() {
+        return;
+    }
+    let root_set: BTreeSet<NodeId> = roots.iter().copied().collect();
+    let pred = g.reach(&roots);
+    for &n in pred.keys() {
+        if root_set.contains(&n) {
+            continue;
+        }
+        let node = &g.nodes[n];
+        if node.allocs.is_empty() || cfg.d7_alloc_allowed(&node.path) {
+            continue;
+        }
+        let chain = g.chain(&pred, n);
+        let mut seen_lines: BTreeSet<u32> = BTreeSet::new();
+        for (line, what) in &node.allocs {
+            if !seen_lines.insert(*line) || files[node.file].allowed("D7", *line) {
+                continue;
+            }
+            out.push(graph_finding(
+                g,
+                files,
+                srcs,
+                RuleId::D7,
+                n,
+                *line,
+                format!(
+                    "{what} allocates on a hot path reached via {chain} — hoist into \
+                     reusable scratch state or allowlist the file in d7_alloc_allow"
+                ),
+            ));
+        }
+    }
+}
+
+/// D8 — wall-clock taint. `dpmd_obs::clock::wall_now` is the sanctioned
+/// choke point; every production function that reads it must be enumerated
+/// in `d8_clock_allow` (or live under a `wallclock_allow` prefix). The
+/// committed allowlist *is* the audit of legitimate clock readers — any
+/// path from deterministic code to the clock necessarily crosses one.
+fn rule_d8(
+    g: &CallGraph,
+    files: &[ParsedFile],
+    srcs: &[String],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    let sinks: BTreeSet<NodeId> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.qname.ends_with("::wall_now") || n.qname == "wall_now")
+        .map(|(i, _)| i)
+        .collect();
+    if sinks.is_empty() {
+        return;
+    }
+    let mut seen: BTreeSet<(NodeId, u32)> = BTreeSet::new();
+    for e in &g.edges {
+        if !sinks.contains(&e.to) || sinks.contains(&e.from) {
+            continue;
+        }
+        let c = &g.nodes[e.from];
+        if c.is_test
+            || cfg.wallclock_allowed(&c.path)
+            || cfg.d8_clock_allowed(&c.path, c.qname.rsplit("::").next().unwrap_or(""))
+            || files[c.file].allowed("D8", e.line)
+            || !seen.insert((e.from, e.line))
+        {
+            continue;
+        }
+        out.push(graph_finding(
+            g,
+            files,
+            srcs,
+            RuleId::D8,
+            e.from,
+            e.line,
+            format!(
+                "`wall_now` read in `{}`, which is not an enumerated clock reader — add a \
+                 d8_clock_allow entry (WallNs-only timing) or hoist the read to an audited \
+                 caller",
+                c.qname
+            ),
+        ));
+    }
+}
+
+/// D9 — unsafe-surface escape audit. Unsafe code and raw-pointer-returning
+/// public APIs are confined to the audited islands (`d9_islands`); inside
+/// them, every `pub unsafe fn` must be enumerated in `d9_audited_surface`
+/// and every cross-crate caller of an unsafe fn in `d9_audited_callers`.
+fn rule_d9(
+    g: &CallGraph,
+    files: &[ParsedFile],
+    srcs: &[String],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    // (a) any unsafe site outside the islands (tests included — escape is
+    // escape), unless justified inline.
+    for (fi, parsed) in files.iter().enumerate() {
+        if cfg.d9_island(&parsed.path) {
+            continue;
+        }
+        for u in &parsed.unsafes {
+            if parsed.allowed("D9", u.line) {
+                continue;
+            }
+            let what = match u.kind {
+                UnsafeKind::Block => "unsafe block",
+                UnsafeKind::Fn => "unsafe fn",
+                UnsafeKind::ImplOrTrait => "unsafe impl/trait",
+            };
+            out.push(Finding {
+                rule: RuleId::D9,
+                path: parsed.path.clone(),
+                line: u.line,
+                message: format!(
+                    "{what} outside the audited unsafe islands ({}) — move it into an \
+                     island or justify with `dpmd-allow D9`",
+                    cfg.d9_islands.join(", ")
+                ),
+                snippet: files[fi].source_line(&srcs[fi], u.line).to_string(),
+            });
+        }
+    }
+    for (i, n) in g.nodes.iter().enumerate() {
+        // (b) island `pub unsafe fn` must be enumerated surface.
+        if n.is_pub
+            && n.is_unsafe_fn
+            && cfg.d9_island(&n.path)
+            && !cfg.d9_audited_surface.iter().any(|q| q == &n.qname)
+            && !files[n.file].allowed("D9", n.line)
+        {
+            out.push(graph_finding(
+                g,
+                files,
+                srcs,
+                RuleId::D9,
+                i,
+                n.line,
+                format!(
+                    "`pub unsafe fn {}` is exported unsafe surface not enumerated in \
+                     d9_audited_surface",
+                    n.qname
+                ),
+            ));
+        }
+        // (d) public raw-pointer-returning APIs leak the island boundary.
+        if n.returns_raw_ptr
+            && n.is_pub
+            && !n.is_test
+            && !cfg.d9_island(&n.path)
+            && !files[n.file].allowed("D9", n.line)
+        {
+            out.push(graph_finding(
+                g,
+                files,
+                srcs,
+                RuleId::D9,
+                i,
+                n.line,
+                format!(
+                    "`pub fn {}` returns a raw pointer outside the audited islands — \
+                     return a reference/slice or move the API into an island",
+                    n.qname
+                ),
+            ));
+        }
+    }
+    // (c) cross-crate calls into unsafe fns: the caller must be audited.
+    let mut seen: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    for e in &g.edges {
+        let (c, t) = (&g.nodes[e.from], &g.nodes[e.to]);
+        if !t.is_unsafe_fn || c.lib == t.lib || c.is_test {
+            continue;
+        }
+        if cfg.d9_audited_callers.iter().any(|q| q == &c.qname)
+            || files[c.file].allowed("D9", e.line)
+            || !seen.insert((e.from, e.to))
+        {
+            continue;
+        }
+        out.push(graph_finding(
+            g,
+            files,
+            srcs,
+            RuleId::D9,
+            e.from,
+            e.line,
+            format!(
+                "`{}` calls unsafe fn `{}` across the crate boundary without an entry in \
+                 d9_audited_callers",
+                c.qname, t.qname
+            ),
+        ));
+    }
+}
+
+/// D10 — interprocedural lock order. Lifts D6 to lock sets accumulated
+/// along real call chains: a lock held across a call edge orders against
+/// everything the callee *may* acquire (transitively). Cycles already
+/// visible intra-file stay D6's; only the chains the graph adds report
+/// here. Escape hatch: `d10_blessed_edges` in the config.
+fn rule_d10(g: &CallGraph, cfg: &Config, intra: &[LockEdge], out: &mut Vec<Finding>) {
+    if g.held_calls.is_empty() {
+        return;
+    }
+    // may_acquire fixpoint over non-test edges.
+    let mut may: Vec<BTreeSet<String>> = g.nodes.iter().map(|n| n.acquires.clone()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for e in &g.edges {
+            if g.nodes[e.from].is_test || g.nodes[e.to].is_test {
+                continue;
+            }
+            let add: Vec<String> = may[e.to]
+                .iter()
+                .filter(|k| !may[e.from].contains(k.as_str()))
+                .cloned()
+                .collect();
+            if !add.is_empty() {
+                may[e.from].extend(add);
+                changed = true;
+            }
+        }
+    }
+    let (_, intra_ids) = cycle_hits(intra);
+    let mut combined: Vec<LockEdge> = intra.to_vec();
+    for hc in &g.held_calls {
+        for &ei in &hc.edges {
+            let e = &g.edges[ei];
+            for acq in &may[e.to] {
+                for h in &hc.held {
+                    if h != acq {
+                        combined.push(LockEdge {
+                            held: h.clone(),
+                            acquired: acq.clone(),
+                            path: e.path.clone(),
+                            line: e.line,
+                            allowed: cfg.d10_blessed(h, acq),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let (hits, _) = cycle_hits(&combined);
+    for h in hits {
+        if intra_ids.contains(&h.id) {
+            continue; // D6 (or its inline allow) already owns this cycle
+        }
+        out.push(Finding {
+            rule: RuleId::D10,
+            path: h.path,
+            line: h.line,
+            message: format!(
+                "interprocedural lock-order cycle {{{}}}: a callee may acquire `{}` while \
+                 `{}` is held across the call — opposite-order chains deadlock; reorder \
+                 the acquisitions or bless the edge in d10_blessed_edges",
+                h.id, h.acquired, h.held
             ),
             snippet: String::new(),
         });
     }
-    out
 }
 
 #[cfg(test)]

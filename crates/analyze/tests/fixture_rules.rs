@@ -19,14 +19,21 @@ fn run(name: &str, cfg: &Config) -> Vec<Finding> {
     analyze_source(&format!("crates/fixture/src/{name}"), &fixture(name), cfg)
 }
 
-/// The config fixtures run under: default rules plus the D5 fixture's
-/// hot-path registration.
+/// The config fixtures run under: default rules plus the D5/D7 fixtures'
+/// hot-path registrations, and D9 island entries for the fixtures whose
+/// unsafe blocks are someone else's subject (blessed, D3).
 fn fixture_config() -> Config {
     let mut cfg = Config::default();
     cfg.hotpaths.push(HotPath {
         path_suffix: "crates/fixture/src/d5_bad.rs".to_string(),
         fn_name: "hot_inner".to_string(),
     });
+    cfg.hotpaths.push(HotPath {
+        path_suffix: "crates/fixture/src/d7_bad.rs".to_string(),
+        fn_name: "hot_entry".to_string(),
+    });
+    cfg.d9_islands.push("crates/fixture/src/blessed.rs".to_string());
+    cfg.d9_islands.push("crates/fixture/src/d3_bad.rs".to_string());
     cfg
 }
 
@@ -69,6 +76,62 @@ fn d5_bad_fires_exactly_once() {
 #[test]
 fn d6_bad_fires_exactly_once() {
     assert_fires_once("d6_bad.rs", RuleId::D6);
+}
+
+#[test]
+fn d7_bad_fires_exactly_once() {
+    assert_fires_once("d7_bad.rs", RuleId::D7);
+}
+
+#[test]
+fn d8_bad_fires_exactly_once() {
+    assert_fires_once("d8_bad.rs", RuleId::D8);
+}
+
+#[test]
+fn d9_bad_fires_exactly_once() {
+    assert_fires_once("d9_bad.rs", RuleId::D9);
+}
+
+#[test]
+fn d10_bad_fires_exactly_once() {
+    assert_fires_once("d10_bad.rs", RuleId::D10);
+}
+
+#[test]
+fn d7_fixture_is_quiet_without_registration() {
+    // Reachability starts at the hot-path manifest: with no roots, the
+    // allocating helper is unreachable by definition.
+    let findings = run("d7_bad.rs", &Config::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d8_fixture_is_quiet_with_an_enumerated_reader() {
+    let mut cfg = fixture_config();
+    cfg.d8_clock_allow.push(HotPath {
+        path_suffix: "crates/fixture/src/d8_bad.rs".to_string(),
+        fn_name: "step_time".to_string(),
+    });
+    let findings = run("d8_bad.rs", &cfg);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d9_fixture_is_quiet_inside_an_island() {
+    let mut cfg = fixture_config();
+    cfg.d9_islands.push("crates/fixture/src/d9_bad.rs".to_string());
+    let findings = run("d9_bad.rs", &cfg);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d10_fixture_is_quiet_with_blessed_edges() {
+    let mut cfg = fixture_config();
+    cfg.d10_blessed_edges.push(("fixture::a".to_string(), "fixture::b".to_string()));
+    cfg.d10_blessed_edges.push(("fixture::b".to_string(), "fixture::a".to_string()));
+    let findings = run("d10_bad.rs", &cfg);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]

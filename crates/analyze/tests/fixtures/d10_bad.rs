@@ -1,0 +1,30 @@
+//! D10 fixture: opposite-order lock chains that only deadlock across
+//! function boundaries — each body on its own is acyclic, so D6 is
+//! silent; the interprocedural lock-set query sees the cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.a.lock().unwrap();
+        *a + self.grab_b()
+    }
+
+    fn grab_b(&self) -> u64 {
+        *self.b.lock().unwrap()
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.b.lock().unwrap();
+        *b + self.grab_a()
+    }
+
+    fn grab_a(&self) -> u64 {
+        *self.a.lock().unwrap()
+    }
+}

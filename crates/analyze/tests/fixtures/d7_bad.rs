@@ -1,0 +1,19 @@
+//! D7 fixture: the registered hot path itself is allocation-free (D5 is
+//! silent), but a helper it calls allocates — only the transitive
+//! reachability query sees it.
+
+pub fn hot_entry(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for x in xs {
+        acc += *x;
+    }
+    acc + helper_total(xs)
+}
+
+fn helper_total(xs: &[u64]) -> u64 {
+    let mut buf = Vec::with_capacity(xs.len());
+    for x in xs {
+        buf.push(*x * 2);
+    }
+    buf.iter().copied().max().unwrap_or(0)
+}

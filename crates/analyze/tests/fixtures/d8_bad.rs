@@ -1,0 +1,13 @@
+//! D8 fixture: a `wall_now` clock behind the blessed name, read by a
+//! function that is not an enumerated clock reader. D4 stays silent (no
+//! raw `Instant::now` shape); the taint query flags the reader.
+
+mod clock {
+    pub fn wall_now() -> u64 {
+        7
+    }
+}
+
+pub fn step_time() -> u64 {
+    clock::wall_now()
+}

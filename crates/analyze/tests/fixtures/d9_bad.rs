@@ -1,0 +1,8 @@
+//! D9 fixture: a perfectly justified unsafe block (D3 is silent) that
+//! still lives outside the audited unsafe islands.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *bytes.as_ptr() }
+}

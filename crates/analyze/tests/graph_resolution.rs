@@ -1,0 +1,263 @@
+//! Graph-layer tests: symbol resolution across modules and crates, a golden
+//! call-graph snapshot of a real crate, and property tests that the
+//! resolver's output is deterministic and self-consistent.
+//!
+//! Refresh the golden snapshot after an intentional resolver change with:
+//! `DPMD_BLESS=1 cargo test -p dpmd-analyze --test graph_resolution`
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use dpmd_analyze::graph::CallGraph;
+use dpmd_analyze::parser::{parse_file, ParsedFile};
+use dpmd_analyze::workspace_lib_names;
+use proptest::prelude::*;
+
+/// Parse in-memory sources (path, src) into the shape `CallGraph::build`
+/// expects: sorted by path.
+fn parse_all(sources: &[(&str, &str)]) -> Vec<ParsedFile> {
+    let mut files: Vec<ParsedFile> =
+        sources.iter().map(|(p, s)| parse_file(p, s)).collect();
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    files
+}
+
+fn node_qnames(g: &CallGraph) -> Vec<&str> {
+    g.nodes.iter().map(|n| n.qname.as_str()).collect()
+}
+
+/// Rendered `caller -> callee` pairs, for readable assertions.
+fn edge_pairs(g: &CallGraph) -> Vec<(String, String)> {
+    g.edges
+        .iter()
+        .map(|e| (g.nodes[e.from].qname.clone(), g.nodes[e.to].qname.clone()))
+        .collect()
+}
+
+#[test]
+fn cross_module_calls_resolve_within_a_crate() {
+    let files = parse_all(&[
+        (
+            "crates/demo/src/alpha.rs",
+            "use crate::beta::helper;\npub fn entry() { helper(); }\n",
+        ),
+        ("crates/demo/src/beta.rs", "pub fn helper() {}\n"),
+    ]);
+    let g = CallGraph::build(&files, &BTreeMap::new());
+    assert_eq!(
+        node_qnames(&g),
+        ["demo::alpha::entry", "demo::beta::helper"],
+        "one node per fn, in path order"
+    );
+    assert_eq!(
+        edge_pairs(&g),
+        [("demo::alpha::entry".to_string(), "demo::beta::helper".to_string())]
+    );
+    assert!(g.unresolved.is_empty(), "{:?}", g.unresolved);
+    assert_eq!(g.stats.sites, 1);
+    assert_eq!(g.stats.resolved, 1);
+}
+
+#[test]
+fn cross_crate_calls_resolve_through_the_lib_name() {
+    // `one`'s Cargo.toml names the lib `one_lib`; `two` imports through
+    // that name, exactly like dpmd-obs -> `dpmd_obs` in the real tree.
+    let mut lib_names = BTreeMap::new();
+    lib_names.insert("one".to_string(), "one_lib".to_string());
+    lib_names.insert("two".to_string(), "two_lib".to_string());
+    let files = parse_all(&[
+        ("crates/one/src/lib.rs", "pub fn leaf() {}\n"),
+        (
+            "crates/two/src/lib.rs",
+            "use one_lib::leaf;\npub fn root() { leaf(); }\n",
+        ),
+    ]);
+    let g = CallGraph::build(&files, &lib_names);
+    assert_eq!(
+        edge_pairs(&g),
+        [("two_lib::root".to_string(), "one_lib::leaf".to_string())]
+    );
+    assert!(g.unresolved.is_empty(), "{:?}", g.unresolved);
+}
+
+#[test]
+fn fully_qualified_cross_crate_paths_resolve_without_an_import() {
+    let mut lib_names = BTreeMap::new();
+    lib_names.insert("one".to_string(), "one_lib".to_string());
+    let files = parse_all(&[
+        ("crates/one/src/util.rs", "pub fn leaf() {}\n"),
+        (
+            "crates/two/src/lib.rs",
+            "pub fn root() { one_lib::util::leaf(); }\n",
+        ),
+    ]);
+    let g = CallGraph::build(&files, &lib_names);
+    assert_eq!(
+        edge_pairs(&g),
+        [("two::root".to_string(), "one_lib::util::leaf".to_string())]
+    );
+    assert!(g.unresolved.is_empty(), "{:?}", g.unresolved);
+}
+
+#[test]
+fn self_method_calls_resolve_to_the_impl_type() {
+    let files = parse_all(&[(
+        "crates/demo/src/gamma.rs",
+        "pub struct Widget;\nimpl Widget {\n    pub fn outer(&self) { self.inner(); }\n    fn inner(&self) {}\n}\n",
+    )]);
+    let g = CallGraph::build(&files, &BTreeMap::new());
+    assert_eq!(
+        edge_pairs(&g),
+        [(
+            "demo::gamma::Widget::outer".to_string(),
+            "demo::gamma::Widget::inner".to_string()
+        )]
+    );
+    assert!(g.unresolved.is_empty(), "{:?}", g.unresolved);
+}
+
+#[test]
+fn unknown_callees_are_listed_not_dropped() {
+    // A path call into a crate-local module that does not exist anywhere in
+    // the scanned set must land in `unresolved` with the site preserved.
+    let files = parse_all(&[(
+        "crates/demo/src/lib.rs",
+        "pub fn entry() { crate::missing::helper(); }\n",
+    )]);
+    let g = CallGraph::build(&files, &BTreeMap::new());
+    assert!(g.edges.is_empty());
+    assert_eq!(g.unresolved.len(), 1, "{:?}", g.unresolved);
+    assert_eq!(g.unresolved[0].path, "crates/demo/src/lib.rs");
+    assert!(
+        g.unresolved[0].callee.contains("helper"),
+        "site must name the callee: {:?}",
+        g.unresolved[0]
+    );
+    // The site still counts toward the denominator.
+    assert_eq!(g.stats.sites, 1);
+    assert_eq!(g.stats.resolved, 0);
+}
+
+/// Build the real `dpmd-threads` call graph from the committed sources.
+fn threads_graph() -> CallGraph {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let lib_names = workspace_lib_names(&root);
+    let dir = root.join("crates/threads/src");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    let files: Vec<ParsedFile> = paths
+        .iter()
+        .map(|p| {
+            let rel = format!(
+                "crates/threads/src/{}",
+                p.file_name().unwrap().to_string_lossy()
+            );
+            let src = std::fs::read_to_string(p).unwrap();
+            parse_file(&rel, &src)
+        })
+        .collect();
+    CallGraph::build(&files, &lib_names)
+}
+
+#[test]
+fn threads_callgraph_matches_the_golden_snapshot() {
+    let g = threads_graph();
+    let rendered = g.to_json() + "\n";
+    // Two builds over the same sources must serialize identically.
+    assert_eq!(rendered, threads_graph().to_json() + "\n");
+
+    let golden_path = format!(
+        "{}/tests/golden/callgraph_threads.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var("DPMD_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(&golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {golden_path}: {e} (run with DPMD_BLESS=1 to create)"));
+    assert_eq!(
+        rendered, golden,
+        "dpmd-threads call graph diverged from the golden snapshot; if the \
+         resolver change is intentional, refresh with DPMD_BLESS=1"
+    );
+}
+
+/// A small synthetic workspace derived deterministically from a seed: a few
+/// crates, each with a few functions that call forward into later
+/// functions (same crate via plain name or `crate::` path, across crates
+/// via the lib name).
+fn synth_workspace(seed: u64) -> Vec<(String, String)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64 — deterministic, no external RNG.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let ncrates = 2 + (next() % 2) as usize;
+    let per_crate = 2 + (next() % 3) as usize;
+    let mut sources = Vec::new();
+    for c in 0..ncrates {
+        let mut src = String::new();
+        for f in 0..per_crate {
+            let mut body = String::new();
+            // Call a later fn in this crate and optionally one in crate 0,
+            // always by a name that exists.
+            if f + 1 < per_crate {
+                body.push_str(&format!("    fnc{c}_{}();\n", f + 1));
+            }
+            if c > 0 && next() % 2 == 0 {
+                src = format!("use crate0::fnc0_0;\n{src}");
+                body.push_str("    fnc0_0();\n");
+            }
+            src.push_str(&format!("pub fn fnc{c}_{f}() {{\n{body}}}\n"));
+        }
+        sources.push((format!("crates/crate{c}/src/lib.rs"), src));
+    }
+    sources
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two builds over the same synthetic workspace serialize to the same
+    /// bytes, and the graph is self-consistent: every edge endpoint is a
+    /// valid node, every site is accounted for exactly once.
+    #[test]
+    fn resolver_output_is_deterministic_and_self_consistent(seed in any::<u64>()) {
+        let sources = synth_workspace(seed);
+        let refs: Vec<(&str, &str)> =
+            sources.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+        let files = parse_all(&refs);
+        let g1 = CallGraph::build(&files, &BTreeMap::new());
+        let g2 = CallGraph::build(&files, &BTreeMap::new());
+        prop_assert_eq!(g1.to_json(), g2.to_json());
+
+        for e in &g1.edges {
+            prop_assert!(e.from < g1.nodes.len());
+            prop_assert!(e.to < g1.nodes.len());
+        }
+        prop_assert_eq!(
+            g1.stats.sites,
+            g1.stats.resolved + g1.stats.external + g1.unresolved.len() as u64,
+            "every call site is resolved, external, or listed as unresolved"
+        );
+        // The synthetic workspace only calls functions that exist.
+        prop_assert!(g1.unresolved.is_empty(), "{:?}", g1.unresolved);
+        // out[] is the exact inverse index of edges.
+        let mut total = 0usize;
+        for (from, idxs) in g1.out.iter().enumerate() {
+            for &i in idxs {
+                prop_assert_eq!(g1.edges[i].from, from);
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, g1.edges.len());
+    }
+}

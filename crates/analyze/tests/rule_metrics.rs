@@ -33,3 +33,27 @@ fn record_metrics_counts_rules_and_suppressions() {
     assert_eq!(snap.counter("analyze.rule.d5"), Some(1));
     assert_eq!(snap.counter("analyze.rule.d2"), None, "unhit rules register no counter");
 }
+
+#[test]
+fn record_graph_metrics_counts_nodes_edges_and_resolution() {
+    use dpmd_analyze::graph::CallGraph;
+    use dpmd_analyze::parser::parse_file;
+    use dpmd_analyze::record_graph_metrics;
+    use std::collections::BTreeMap;
+
+    let files = vec![parse_file(
+        "crates/demo/src/lib.rs",
+        "pub fn leaf() {}\npub fn root() { leaf(); std::process::id(); }\n",
+    )];
+    let g = CallGraph::build(&files, &BTreeMap::new());
+
+    let reg = MetricsRegistry::new();
+    record_graph_metrics(&reg, &g);
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("analyze.graph.nodes"), Some(2));
+    assert_eq!(snap.counter("analyze.graph.edges"), Some(1));
+    assert_eq!(snap.counter("analyze.graph.call_sites"), Some(g.stats.sites));
+    assert_eq!(snap.counter("analyze.graph.resolved"), Some(1));
+    assert_eq!(snap.counter("analyze.graph.external"), Some(g.stats.external));
+    assert_eq!(snap.counter("analyze.graph.unresolved"), Some(0));
+}

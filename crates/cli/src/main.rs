@@ -42,7 +42,8 @@ fn usage() {
     println!("               [--in-flight K|all] [--threads N] [--profile FILE]");
     println!("       dpmd validate-obs <profile.json> [trace.json]");
     println!("       dpmd analyze [--deny] [--baseline PATH] [--config PATH] [--root DIR]");
-    println!("               [--json PATH] [--bless]\n");
+    println!("               [--json PATH] [--bless] [--graph PATH] [--emit-stats PATH]");
+    println!("               [--min-resolution PCT]\n");
     println!("experiments:");
     for (name, desc) in EXPERIMENTS {
         println!("  {name:10} {desc}");
@@ -87,8 +88,15 @@ fn usage() {
     println!("\nvalidate-obs: check --profile/--trace outputs against the schema");
     println!("\nanalyze: determinism & safety linter over the workspace sources");
     println!("  (rules D1-D6: hash-order, float reductions, SAFETY comments,");
-    println!("  wall clocks, hot-path allocation, lock order); --deny fails on");
-    println!("  any finding not covered by the committed baseline");
+    println!("  wall clocks, hot-path allocation, lock order; D7-D10 run as");
+    println!("  reachability/taint queries over the workspace call graph:");
+    println!("  transitive hot-path allocation, wall-clock taint, unsafe-island");
+    println!("  escapes, interprocedural lock order); --deny fails on any");
+    println!("  finding not covered by the committed baseline");
+    println!("  --graph F           export the resolved call graph as JSON");
+    println!("  --emit-stats F      write resolution statistics (JSON) to F");
+    println!("  --min-resolution P  fail unless at least P% of call edges");
+    println!("                      resolve (unresolved sites are listed)");
 }
 
 /// Parse `--in-flight` into a typed cap. The old path fed the value through

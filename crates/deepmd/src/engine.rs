@@ -80,6 +80,21 @@ impl Emb32 {
 /// One fitting layer: (w in×out, wᵀ out×in, b, act, resnet, in, out).
 pub(crate) type FitLayer32 = (Vec<f32>, Vec<f32>, Vec<f32>, Activation, Resnet, usize, usize);
 
+/// Reusable forward/backward tape for [`Fit32::energy_and_grad_into`]:
+/// one instance per chunk worker, so the per-atom fitting sweep stops
+/// allocating once the buffers have grown to the network's layer widths.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Fit32Scratch {
+    /// Per-layer biased pre-activations (the backward tape).
+    pres: Vec<Vec<f32>>,
+    x: Vec<f32>,
+    out: Vec<f32>,
+    x16: Vec<F16>,
+    dpre: Vec<f32>,
+    dx: Vec<f32>,
+    dpre16: Vec<F16>,
+}
+
 /// One fitting net with f32 weights (and binary16 copies of the first
 /// layer's weight matrices for the `Mix16` path).
 #[derive(Clone, Debug)]
@@ -109,28 +124,37 @@ impl Fit32 {
     }
 
     /// Energy and ∂E/∂D for a single descriptor row, in f32 (first-layer
-    /// GEMMs in fp16 when `f16_first` is set).
-    fn energy_and_grad(
+    /// GEMMs in fp16 when `f16_first` is set). The cotangent lands in
+    /// `g`; with `g` and `scratch` reused across calls the whole
+    /// forward/backward sweep is allocation-free after first growth —
+    /// this runs once per atom inside the fitting chunk loop.
+    fn energy_and_grad_into(
         &self,
         d: &[f32],
         f16_first: bool,
         tally: Option<&GemmTally>,
-    ) -> (f32, Vec<f32>) {
+        g: &mut Vec<f32>,
+        scratch: &mut Fit32Scratch,
+    ) -> f32 {
         let nl = self.layers.len();
-        // Forward, saving biased pre-activations and inputs.
-        let mut pres: Vec<Vec<f32>> = Vec::with_capacity(nl);
-        let mut inputs: Vec<Vec<f32>> = Vec::with_capacity(nl);
-        let mut x = d.to_vec();
+        let Fit32Scratch { pres, x, out, x16, dpre, dx, dpre16 } = scratch;
+        // Forward, saving biased pre-activations (the backward tape).
+        pres.resize_with(nl, Vec::default);
+        x.clear();
+        x.extend_from_slice(d);
         for (li, (w, _, b, act, resnet, ind, outd)) in self.layers.iter().enumerate() {
-            let mut pre = vec![0.0f32; *outd];
+            let pre = &mut pres[li];
+            pre.clear();
+            pre.resize(*outd, 0.0f32);
             if li == 0 && f16_first {
-                let x16: Vec<F16> = x.iter().map(|&v| F16::from_f32(v)).collect();
-                simd::gemm_nn_f16(1, *outd, *ind, &x16, &self.w16_first, &mut pre);
+                x16.clear();
+                x16.extend(x.iter().map(|&v| F16::from_f32(v)));
+                simd::gemm_nn_f16(1, *outd, *ind, x16, &self.w16_first, pre);
                 if let Some(t) = tally {
                     t.record(1, *outd, *ind, PrecClass::F16);
                 }
             } else {
-                gemm::auto_nn_f32(1, *outd, *ind, &x, w, &mut pre);
+                gemm::auto_nn_f32(1, *outd, *ind, x, w, pre);
                 if let Some(t) = tally {
                     t.record(1, *outd, *ind, PrecClass::F32);
                 }
@@ -138,7 +162,8 @@ impl Fit32 {
             for (p, &bb) in pre.iter_mut().zip(b) {
                 *p += bb;
             }
-            let mut out: Vec<f32> = pre.iter().map(|&p| act.apply_f32(p)).collect();
+            out.clear();
+            out.extend(pre.iter().map(|&p| act.apply_f32(p)));
             match resnet {
                 Resnet::None => {}
                 Resnet::Identity => {
@@ -153,29 +178,31 @@ impl Fit32 {
                     }
                 }
             }
-            pres.push(pre);
-            inputs.push(x);
-            x = out;
+            std::mem::swap(x, out);
         }
         let energy = x[0];
 
         // Backward with unit cotangent.
-        let mut g = vec![1.0f32];
+        g.clear();
+        g.push(1.0f32);
         for (li, (_, wt, _, act, resnet, ind, outd)) in self.layers.iter().enumerate().rev() {
             let pre = &pres[li];
-            let mut dpre = vec![0.0f32; *outd];
+            dpre.clear();
+            dpre.resize(*outd, 0.0f32);
             for o in 0..*outd {
                 dpre[o] = g[o] * (act.derivative(pre[o] as f64) as f32);
             }
-            let mut dx = vec![0.0f32; *ind];
+            dx.clear();
+            dx.resize(*ind, 0.0f32);
             if li == 0 && f16_first {
-                let dpre16: Vec<F16> = dpre.iter().map(|&v| F16::from_f32(v)).collect();
-                simd::gemm_nn_f16(1, *ind, *outd, &dpre16, &self.wt16_first, &mut dx);
+                dpre16.clear();
+                dpre16.extend(dpre.iter().map(|&v| F16::from_f32(v)));
+                simd::gemm_nn_f16(1, *ind, *outd, dpre16, &self.wt16_first, dx);
                 if let Some(t) = tally {
                     t.record(1, *ind, *outd, PrecClass::F16);
                 }
             } else {
-                gemm::auto_nn_f32(1, *ind, *outd, &dpre, wt, &mut dx);
+                gemm::auto_nn_f32(1, *ind, *outd, dpre, wt, dx);
                 if let Some(t) = tally {
                     t.record(1, *ind, *outd, PrecClass::F32);
                 }
@@ -193,10 +220,9 @@ impl Fit32 {
                     }
                 }
             }
-            g = dx;
+            std::mem::swap(g, dx);
         }
-        let _ = &inputs;
-        (energy, g)
+        energy
     }
 }
 
@@ -519,6 +545,8 @@ impl DpEngine {
                         // the inner loop itself never allocates.
                         let mut d = vec![0.0f32; m1 * m2]; // dpmd-allow D5: per-chunk scratch, reused per atom
                         let mut dt = vec![0.0f32; m1 * 4]; // dpmd-allow D5: per-chunk scratch, reused per atom
+                        let mut de_dd = Vec::default();
+                        let mut fit_scratch = Fit32Scratch::default();
                         let mut energy = 0.0f64;
                         let mut virial = 0.0f64;
                         for i in range {
@@ -537,8 +565,13 @@ impl DpEngine {
                                     d[a * m2 + b] = acc;
                                 }
                             }
-                            let (e_fit, de_dd) =
-                                self.fit32[ti].energy_and_grad(&d, f16_first, tally);
+                            let e_fit = self.fit32[ti].energy_and_grad_into(
+                                &d,
+                                f16_first,
+                                tally,
+                                &mut de_dd,
+                                &mut fit_scratch,
+                            );
                             energy += e_fit as f64 + self.model.energy_bias[ti];
 
                             // dT (accumulated, so reset per atom).

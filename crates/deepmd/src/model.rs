@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::compress::CompressedEmbedding;
 use crate::config::DeepPotConfig;
 use crate::descriptor::{build_environments, build_environments_on, Environment};
-use crate::embedding::EmbeddingNet;
+use crate::embedding::{EmbedScratch, EmbeddingNet};
 use crate::fitting::FittingNet;
 
 /// A complete Deep Potential model.
@@ -49,6 +49,16 @@ struct AtomEmbed {
     dg_ds: Vec<f64>,
     /// T = GᵀR̃/nmax (M₁ × 4, row-major).
     t: Vec<f64>,
+}
+
+/// Per-worker scratch for the embedding pass: the network's forward-mode
+/// sweep buffers plus the per-neighbour feature/derivative rows they fill.
+/// One instance per chunk worker keeps the neighbour loop allocation-free.
+#[derive(Default)]
+struct EmbedAtomScratch {
+    gv: Vec<f64>,
+    dgv: Vec<f64>,
+    net: EmbedScratch,
 }
 
 
@@ -95,12 +105,21 @@ impl DeepPotModel {
     }
 
     /// Embedding features and s-derivative for species `typ` at `s`,
-    /// through the table when compression is enabled.
+    /// through the table when compression is enabled. Writes into the
+    /// caller's reused buffers — the per-neighbour inner loop must not
+    /// allocate.
     #[inline]
-    fn embed(&self, typ: usize, s: f64) -> (Vec<f64>, Vec<f64>) {
+    fn embed_into(
+        &self,
+        typ: usize,
+        s: f64,
+        g: &mut Vec<f64>,
+        dg: &mut Vec<f64>,
+        net_scratch: &mut EmbedScratch,
+    ) {
         match &self.compressed {
-            Some(tables) => tables[typ].forward_with_grad(s),
-            None => self.embeddings[typ].forward_with_grad(s),
+            Some(tables) => tables[typ].forward_with_grad_into(s, g, dg),
+            None => self.embeddings[typ].forward_with_grad_into(s, g, dg, net_scratch),
         }
     }
 
@@ -116,15 +135,16 @@ impl DeepPotModel {
 
     /// Embedding pass for one atom: per-neighbour features, their
     /// s-derivatives, and T = GᵀR̃/nmax.
-    fn embed_atom(&self, env: &Environment) -> AtomEmbed {
+    fn embed_atom(&self, env: &Environment, scratch: &mut EmbedAtomScratch) -> AtomEmbed {
         let m1 = self.config.m1();
         let n = env.entries.len();
         let inv_nm = 1.0 / self.config.nmax as f64;
-        let mut g = vec![0.0; n * m1];
-        let mut dg_ds = vec![0.0; n * m1];
-        let mut t = vec![0.0; m1 * 4];
+        let mut g = vec![0.0; n * m1]; // dpmd-allow D7: per-atom output retained in AtomEmbed
+        let mut dg_ds = vec![0.0; n * m1]; // dpmd-allow D7: per-atom output retained in AtomEmbed
+        let mut t = vec![0.0; m1 * 4]; // dpmd-allow D7: per-atom output retained in AtomEmbed
         for (k, e) in env.entries.iter().enumerate() {
-            let (gv, dgv) = self.embed(e.typ as usize, e.s);
+            self.embed_into(e.typ as usize, e.s, &mut scratch.gv, &mut scratch.dgv, &mut scratch.net);
+            let (gv, dgv) = (&scratch.gv, &scratch.dgv);
             let coords = e.coords();
             for m in 0..m1 {
                 g[k * m1 + m] = gv[m];
@@ -142,7 +162,7 @@ impl DeepPotModel {
         let m1 = self.config.m1();
         let m2 = self.config.m2;
         let t = &emb.t;
-        let mut d = vec![0.0; m1 * m2];
+        let mut d = vec![0.0; m1 * m2]; // dpmd-allow D7: per-atom descriptor row, moved into the fitting Matrix (f64 reference path)
         for a in 0..m1 {
             for b in 0..m2 {
                 let mut acc = 0.0;
@@ -159,7 +179,7 @@ impl DeepPotModel {
 
     /// Forward pass for one atom's environment: its atomic energy.
     fn atom_energy(&self, typ: u32, env: &Environment) -> f64 {
-        self.fit_atom(typ, &self.embed_atom(env)).0
+        self.fit_atom(typ, &self.embed_atom(env, &mut EmbedAtomScratch::default())).0
     }
 
     /// Total energy only (no forces) — used by finite-difference tests and
@@ -301,17 +321,23 @@ impl DeepPotModel {
         // stored per atom.
         let t0 = wall_now();
         let mut emb_parts: Vec<Vec<AtomEmbed>> =
-            chunks.iter().map(|c| Vec::with_capacity(c.len())).collect();
+            chunks.iter().map(|c| Vec::with_capacity(c.len())).collect(); // dpmd-allow D7: O(chunks) staging per step
         {
             let envs = &envs;
             pool.scope(|sc| {
                 for (range, part) in chunks.iter().zip(emb_parts.iter_mut()) {
-                    let range = range.clone();
-                    sc.spawn(move || part.extend(range.map(|i| self.embed_atom(&envs[i]))));
+                    let range = range.clone(); // dpmd-allow D7: Range clone is Copy-sized, no heap
+                    sc.spawn(move || {
+                        // One scratch per chunk worker: the per-neighbour
+                        // embedding loop reuses its buffers for every atom
+                        // in the range.
+                        let mut scratch = EmbedAtomScratch::default();
+                        part.extend(range.map(|i| self.embed_atom(&envs[i], &mut scratch)));
+                    });
                 }
             });
         }
-        let embeds: Vec<AtomEmbed> = emb_parts.into_iter().flatten().collect();
+        let embeds: Vec<AtomEmbed> = emb_parts.into_iter().flatten().collect(); // dpmd-allow D7: per-step output assembly in chunk order
         phases.embedding_s = t0.elapsed().as_secs_f64();
 
         // Pass 3: fitting nets + force backward, one force buffer per chunk.
@@ -321,18 +347,18 @@ impl DeepPotModel {
             virial: f64,
             forces: Vec<Vec3>,
         }
-        let mut outs: Vec<Option<ChunkOut>> = chunks.iter().map(|_| None).collect();
+        let mut outs: Vec<Option<ChunkOut>> = chunks.iter().map(|_| None).collect(); // dpmd-allow D7: O(chunks) slots per step
         {
             let (envs, embeds) = (&envs, &embeds);
             let nall = atoms.len();
             pool.scope(|sc| {
                 for (range, slot) in chunks.iter().zip(outs.iter_mut()) {
-                    let range = range.clone();
+                    let range = range.clone(); // dpmd-allow D7: Range clone is Copy-sized, no heap
                     sc.spawn(move || {
-                        let mut buf = vec![Vec3::ZERO; nall];
+                        let mut buf = vec![Vec3::ZERO; nall]; // dpmd-allow D7: one force buffer per chunk, amortized over the chunk's atoms
                         let mut energy = 0.0;
                         let mut virial = 0.0;
-                        let mut dt = vec![0.0; m1 * 4];
+                        let mut dt = vec![0.0; m1 * 4]; // dpmd-allow D7: per-chunk scratch, reused per atom
                         for i in range {
                             energy += self.fit_backward_atom(
                                 i,

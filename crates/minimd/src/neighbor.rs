@@ -165,8 +165,8 @@ impl NeighborList {
         // Counting sort of atoms into cells.
         let ncell = nc[0] * nc[1] * nc[2];
         let lin = |c: [usize; 3]| (c[2] * nc[1] + c[1]) * nc[0] + c[0];
-        let mut count = vec![0usize; ncell + 1];
-        let mut cell_idx = vec![0usize; n];
+        let mut count = vec![0usize; ncell + 1]; // dpmd-allow D7: counting-sort bins, rebuilt only at neighbour-list cadence
+        let mut cell_idx = vec![0usize; n]; // dpmd-allow D7: counting-sort bins, rebuilt only at neighbour-list cadence
         for (a, &p) in atoms.pos.iter().enumerate() {
             let c = lin(cell_of(p));
             cell_idx[a] = c;
@@ -175,14 +175,14 @@ impl NeighborList {
         for c in 0..ncell {
             count[c + 1] += count[c];
         }
-        let mut bins = vec![0u32; n];
-        let mut cursor = count.clone();
+        let mut bins = vec![0u32; n]; // dpmd-allow D7: counting-sort bins, rebuilt only at neighbour-list cadence
+        let mut cursor = count.clone(); // dpmd-allow D7: cursor copy at neighbour-list rebuild cadence
         for (a, &c) in cell_idx.iter().enumerate() {
             bins[cursor[c]] = a as u32;
             cursor[c] += 1;
         }
 
-        let mut stencil: Vec<(i64, i64, i64)> = Vec::with_capacity(27);
+        let mut stencil: Vec<(i64, i64, i64)> = Vec::with_capacity(27); // dpmd-allow D7: 27-entry stencil at neighbour-list rebuild cadence
         for dx in -1i64..=1 {
             for dy in -1i64..=1 {
                 for dz in -1i64..=1 {
@@ -199,13 +199,13 @@ impl NeighborList {
         let kind = self.kind;
         let chunks = dpmd_threads::atom_chunks(nlocal);
         let mut parts: Vec<(Vec<usize>, Vec<u32>)> =
-            chunks.iter().map(|c| (Vec::with_capacity(c.len()), Vec::new())).collect();
+            chunks.iter().map(|c| (Vec::with_capacity(c.len()), Vec::new())).collect(); // dpmd-allow D7: O(chunks) CSR segments at neighbour-list rebuild cadence
         {
             let (pos, stencil, count, bins) = (&atoms.pos, &stencil, &count, &bins);
             let cell_of = &cell_of;
             dpmd_threads::ThreadPool::global().scope(|sc| {
                 for (range, part) in chunks.iter().zip(parts.iter_mut()) {
-                    let range = range.clone();
+                    let range = range.clone(); // dpmd-allow D7: Range clone is Copy-sized, no heap
                     sc.spawn(move || {
                         let (ends, list) = part;
                         for i in range {

@@ -20,7 +20,7 @@ use crate::SharedDp;
 /// at the cap always lands in its own bucket instead of straddling an edge.
 /// Sorted and deduplicated — the registry requires ascending bounds.
 pub(crate) fn occupancy_bounds(cap: Option<usize>, fleet: usize) -> Vec<u64> {
-    let mut b: Vec<u64> = vec![1, 2, 4, 8, 16, 32];
+    let mut b: Vec<u64> = vec![1, 2, 4, 8, 16, 32]; // dpmd-allow D7: histogram bounds built once per scheduler construction
     if let Some(c) = cap {
         b.push(c as u64);
     }

@@ -84,7 +84,15 @@ pub trait Kernel: Send + Sync {
 /// AVX2+FMA on x86_64 (runtime-detected), NEON on aarch64 (baseline).
 /// `None` means the caller must fall back to its scalar class.
 pub fn native() -> Option<&'static dyn Kernel> {
-    #[cfg(target_arch = "x86_64")]
+    // Miri interprets no std::arch vector intrinsics: always report "no
+    // native kernel" there so callers take the scalar class, which shares
+    // the same fold-order contract bit for bit. This is what lets CI run
+    // `cargo miri test -p dpmd-simd` on a SIMD host.
+    #[cfg(miri)]
+    {
+        None
+    }
+    #[cfg(all(not(miri), target_arch = "x86_64"))]
     {
         if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
             static KERNEL: avx2::Avx2Kernel = avx2::Avx2Kernel;
@@ -92,12 +100,12 @@ pub fn native() -> Option<&'static dyn Kernel> {
         }
         None
     }
-    #[cfg(target_arch = "aarch64")]
+    #[cfg(all(not(miri), target_arch = "aarch64"))]
     {
         static KERNEL: neon::NeonKernel = neon::NeonKernel;
         Some(&KERNEL)
     }
-    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(not(miri), not(any(target_arch = "x86_64", target_arch = "aarch64"))))]
     {
         None
     }

@@ -50,11 +50,11 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub fn even_chunks(total: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.max(1).min(total.max(1));
     if total == 0 {
-        return Vec::new();
+        return Vec::new(); // dpmd-allow D7: Vec::new is capacity 0, no heap
     }
     let base = total / parts;
     let extra = total % parts;
-    let mut out = Vec::with_capacity(parts);
+    let mut out = Vec::with_capacity(parts); // dpmd-allow D7: O(workers) chunk descriptors per scope
     let mut start = 0;
     for p in 0..parts {
         let len = base + usize::from(p < extra);
@@ -147,7 +147,7 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let inner = Arc::new(Inner {
-            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(), // dpmd-allow D7: one-time pool construction
             sleep: Mutex::new(0),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -157,11 +157,11 @@ impl ThreadPool {
             .map(|home| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("dpmd-worker-{home}"))
+                    .name(format!("dpmd-worker-{home}")) // dpmd-allow D7: one-time pool construction
                     .spawn(move || inner.worker_loop(home))
                     .expect("spawn pool worker")
             })
-            .collect();
+            .collect(); // dpmd-allow D7: one-time pool construction
         ThreadPool { inner, workers, threads }
     }
 
@@ -296,7 +296,7 @@ impl<'scope> Scope<'scope, '_> {
         }
         self.latch.increment();
         let latch = Arc::clone(&self.latch);
-        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || { // dpmd-allow D7: boxed job is the scoped-pool ABI, one per spawned chunk
             if catch_unwind(AssertUnwindSafe(f)).is_err() {
                 latch.panicked.store(true, Ordering::Release);
             }
@@ -363,6 +363,10 @@ mod tests {
     }
 
     #[test]
+    // Miri's deterministic scheduler can legally run every task on one
+    // worker (virtual time, rare preemption), so this liveness check only
+    // means something on real threads.
+    #[cfg_attr(miri, ignore)]
     fn work_actually_distributes_across_threads() {
         let pool = ThreadPool::new(4);
         let ids = Mutex::new(HashSet::new());
